@@ -1,0 +1,69 @@
+//! # pdc-baselines — comparator classifiers
+//!
+//! The classifiers the paper positions CLOUDS/pCLOUDS against:
+//!
+//! * [`build_tree_sprint`] — SPRINT with pre-sorted attribute lists and
+//!   rid-join partitioning (exact splits; heavy memory traffic — the cost
+//!   profile CLOUDS' interval sampling avoids);
+//! * [`build_tree_sliq`] — SLIQ with one-time sorting and the
+//!   memory-resident class list (the structure whose size limits SLIQ's
+//!   scalability, as the paper notes);
+//! * [`build_tree_psprint`] — parallel SPRINT / ScalParC-style synchronized
+//!   tree construction over the simulated machine (distributed pre-sorted
+//!   attribute lists, replicated node map), the parallel in-core
+//!   comparator;
+//! * the in-core exact-gini tree is `pdc_clouds::SplitMethod::Direct`
+//!   (CART-style reference), re-exported here as [`build_tree_direct`] for
+//!   convenience.
+
+//!
+//! ```
+//! use pdc_baselines::build_tree_sprint;
+//! use pdc_clouds::{accuracy, CloudsParams};
+//! use pdc_datagen::{generate, GeneratorConfig};
+//!
+//! let records = generate(1_000, GeneratorConfig::default());
+//! let params = CloudsParams { q_root: 50, sample_size: 200, ..Default::default() };
+//! let (tree, stats) = build_tree_sprint(&records, &params);
+//! assert!(accuracy(&tree, &records) > 0.95);
+//! assert!(stats.presort_comparisons > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod psprint;
+pub mod sliq;
+pub mod sprint;
+
+pub use psprint::{build_tree_psprint, PsprintStats};
+pub use sliq::{build_tree_sliq, SliqStats};
+pub use sprint::{build_tree_sprint, SprintStats};
+
+use pdc_clouds::{build_tree, CloudsParams, DecisionTree, SplitMethod};
+use pdc_datagen::Record;
+
+/// Exact in-core gini tree (CART-style reference): the CLOUDS builder with
+/// the direct method.
+pub fn build_tree_direct(records: &[Record], params: &CloudsParams) -> DecisionTree {
+    build_tree(
+        records,
+        &CloudsParams {
+            method: SplitMethod::Direct,
+            ..params.clone()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_clouds::accuracy;
+    use pdc_datagen::{generate, GeneratorConfig};
+
+    #[test]
+    fn direct_reference_wrapper_works() {
+        let records = generate(2_000, GeneratorConfig::default());
+        let tree = build_tree_direct(&records, &CloudsParams::default());
+        assert!(accuracy(&tree, &records) > 0.97);
+    }
+}

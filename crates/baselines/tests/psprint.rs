@@ -1,0 +1,84 @@
+//! Tests of parallel SPRINT: tree equivalence with the sequential exact
+//! methods, p-independence, and the replicated-memory accounting.
+
+use pdc_baselines::{build_tree_psprint, build_tree_sprint};
+use pdc_cgm::Cluster;
+use pdc_clouds::{accuracy, CloudsParams};
+use pdc_datagen::{generate, train_test_split, GeneratorConfig};
+
+fn params() -> CloudsParams {
+    CloudsParams {
+        q_root: 100,
+        sample_size: 1_000,
+        ..CloudsParams::default()
+    }
+}
+
+fn psprint(records: &[pdc_datagen::Record], p: usize) -> (pdc_clouds::DecisionTree, u64) {
+    let cluster = Cluster::new(p);
+    let out = cluster.run(|proc| build_tree_psprint(proc, records, &params()));
+    // Every rank must return the identical tree.
+    let (tree0, stats0) = &out.results[0];
+    for (tree, _) in &out.results[1..] {
+        assert_eq!(tree.render(), tree0.render(), "replicas diverged");
+    }
+    (tree0.clone(), stats0.replicated_bytes)
+}
+
+#[test]
+fn learns_f2_and_matches_across_p() {
+    let records = generate(4_000, GeneratorConfig::default());
+    let (train, test) = train_test_split(records, 0.8);
+    let (tree1, _) = psprint(&train, 1);
+    let acc = accuracy(&tree1, &test);
+    assert!(acc > 0.95, "accuracy {acc}");
+    for p in [2, 4, 8] {
+        let (tree, _) = psprint(&train, p);
+        assert_eq!(
+            tree.render(),
+            tree1.render(),
+            "parallel SPRINT tree differs at p={p}"
+        );
+    }
+}
+
+#[test]
+fn comparable_accuracy_to_sequential_sprint() {
+    // Both are exact split optimizers; trees can differ in tie-breaking and
+    // construction order (level vs depth first), so compare accuracy.
+    let records = generate(5_000, GeneratorConfig::default());
+    let (train, test) = train_test_split(records, 0.8);
+    let (par_tree, _) = psprint(&train, 4);
+    let (seq_tree, _) = build_tree_sprint(&train, &params());
+    let (a, b) = (accuracy(&par_tree, &test), accuracy(&seq_tree, &test));
+    assert!((a - b).abs() < 0.02, "parallel {a} vs sequential {b}");
+}
+
+#[test]
+fn replicated_memory_grows_with_n() {
+    let small = generate(1_000, GeneratorConfig::default());
+    let big = generate(4_000, GeneratorConfig::default());
+    let (_, mem_small) = psprint(&small, 2);
+    let (_, mem_big) = psprint(&big, 2);
+    // The SPRINT scalability sin: per-processor resident state is O(n),
+    // independent of p.
+    assert!(mem_big >= 4 * mem_small - 64);
+}
+
+#[test]
+fn duplicate_heavy_values_are_handled() {
+    // Many equal commission values (the zero spike) must not produce splits
+    // inside runs of equal values.
+    let mut records = generate(2_000, GeneratorConfig::default());
+    for r in records.iter_mut().take(1_500) {
+        r.numeric[1] = 0.0;
+    }
+    let (tree, _) = psprint(&records, 4);
+    assert!(accuracy(&tree, &records) > 0.9);
+}
+
+#[test]
+fn empty_input() {
+    let (tree, _) = psprint(&[], 3);
+    assert_eq!(tree.num_nodes(), 1);
+}

@@ -1,0 +1,38 @@
+//! Throughput of the synthetic data generator and of the wire/record
+//! encoding layer the simulated disks and network move records through.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pdc_cgm::Wire;
+use pdc_datagen::{generate, GeneratorConfig, Record};
+use pdc_pario::{decode_batch, encode_batch};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("generate_100k", |b| {
+        b.iter(|| generate(100_000, black_box(GeneratorConfig::default())))
+    });
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let records = generate(50_000, GeneratorConfig::default());
+    let bytes = encode_batch(&records);
+    let mut group = c.benchmark_group("record_codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_50k", |b| {
+        b.iter(|| encode_batch(black_box(&records)))
+    });
+    group.bench_function("decode_50k", |b| {
+        b.iter(|| decode_batch::<Record>(black_box(&bytes)))
+    });
+    group.bench_function("single_roundtrip", |b| {
+        b.iter(|| Record::from_bytes(&black_box(&records[0]).to_bytes()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_encoding);
+criterion_main!(benches);

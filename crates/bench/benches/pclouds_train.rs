@@ -1,0 +1,31 @@
+//! End-to-end host-side benchmark: how fast the simulation itself trains
+//! pCLOUDS (wall-clock of the whole simulated pipeline, not virtual time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_clouds::CloudsParams;
+use pdc_datagen::{generate, GeneratorConfig};
+use pdc_pclouds::{train_in_memory, PcloudsConfig};
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pclouds_train_10k");
+    group.sample_size(10);
+    let records = generate(10_000, GeneratorConfig::default());
+    let config = PcloudsConfig {
+        clouds: CloudsParams {
+            q_root: 200,
+            sample_size: 2_000,
+            ..CloudsParams::default()
+        },
+        memory_limit_bytes: 64 * 1024,
+        ..PcloudsConfig::default()
+    };
+    for p in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| train_in_memory(&records, p, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **Ablation — attribute-based vs interval-based boundary evaluation
+//! (§5.1.1).**
+//!
+//! The paper implements the replication method with the attribute-based
+//! approach but notes that "it is possible for some processors to idle and
+//! hence can lead to poor load balancing"; the interval-based approach
+//! distributes every attribute's intervals across all processors. This
+//! harness compares the two at processor counts straddling the attribute
+//! count (9): below it the approaches are similar; above it the
+//! attribute-based owners become the bottleneck of the derive phase.
+
+use pdc_bench::harness::{csv_flag, experiment_config, machine_config, Scale, TableWriter};
+use pdc_cgm::Cluster;
+use pdc_datagen::{GeneratorConfig, RecordStream};
+use pdc_dnc::Strategy;
+use pdc_pario::DiskFarm;
+use pdc_pclouds::{load_dataset_stream, train, BoundaryEval};
+
+fn main() {
+    let scale = Scale::from_env();
+    let csv = csv_flag();
+    let n = scale.records(3_600_000);
+    eprintln!("ablation_replication: n={n}");
+    let mut table = TableWriter::new(
+        &[
+            "approach",
+            "p",
+            "runtime_s",
+            "derive_max_s",
+            "derive_min_s",
+            "messages",
+        ],
+        csv,
+    );
+    for p in [4usize, 8, 16, 32] {
+        for (name, approach) in [
+            ("attribute", BoundaryEval::AttributeBased),
+            ("interval", BoundaryEval::IntervalBased),
+        ] {
+            let mut cfg = experiment_config(n, scale);
+            cfg.boundary_eval = approach;
+            let farm = DiskFarm::in_memory(p);
+            let stream = RecordStream::new(GeneratorConfig::default()).take(n as usize);
+            let root = load_dataset_stream(
+                &farm,
+                stream,
+                cfg.clouds.sample_size,
+                cfg.clouds.sample_seed,
+            );
+            let cluster = Cluster::with_config(p, machine_config(scale));
+            let out = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
+            let derive: Vec<f64> = out.metrics.iter().map(|m| m.time_derive).collect();
+            table.row(vec![
+                name.to_string(),
+                p.to_string(),
+                format!("{:.3}", out.runtime()),
+                format!("{:.3}", derive.iter().cloned().fold(0.0f64, f64::max)),
+                format!("{:.3}", derive.iter().cloned().fold(f64::MAX, f64::min)),
+                out.run.total_counters().messages_sent.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,83 @@
+//! **Ablation — SS vs SSE vs the direct method (CLOUDS' split derivation,
+//! which pCLOUDS inherits).**
+//!
+//! For several classification functions: classifier accuracy, tree size
+//! (pruned), root survival ratio and the parallel runtime under SS and SSE.
+//! Expected: SSE and the direct method agree on accuracy (the SSE bound is
+//! exact over alive intervals); SS is close but can mis-rank near-optimal
+//! splits; survival ratios stay small (SSE's second pass is cheap).
+
+use pdc_bench::harness::{csv_flag, experiment_config, machine_config, Scale, TableWriter};
+use pdc_cgm::Cluster;
+use pdc_clouds::{accuracy, build_tree, mdl_prune, MdlParams, SplitMethod};
+use pdc_datagen::{generate, train_test_split, ClassifyFn, GeneratorConfig};
+use pdc_dnc::Strategy;
+use pdc_pario::DiskFarm;
+use pdc_pclouds::{load_dataset, train};
+
+fn main() {
+    let scale = Scale::from_env();
+    let csv = csv_flag();
+    let n = scale.records(2_000_000) as usize;
+    let p = 8;
+
+    // --- Part 1: sequential quality comparison. ---
+    let mut quality = TableWriter::new(
+        &["function", "method", "accuracy", "leaves_pruned"],
+        csv,
+    );
+    for f in [ClassifyFn::F1, ClassifyFn::F2, ClassifyFn::F7] {
+        let records = generate(
+            (n / 4).max(20_000),
+            GeneratorConfig {
+                function: f,
+                ..GeneratorConfig::default()
+            },
+        );
+        let (train_set, test_set) = train_test_split(records, 0.75);
+        for method in [SplitMethod::Direct, SplitMethod::SS, SplitMethod::SSE] {
+            let cfg = experiment_config(train_set.len() as u64, scale);
+            let mut params = cfg.clouds.clone();
+            params.method = method;
+            let mut tree = build_tree(&train_set, &params);
+            mdl_prune(&mut tree, &MdlParams::default());
+            quality.row(vec![
+                format!("F{}", f.index()),
+                format!("{method:?}"),
+                format!("{:.4}", accuracy(&tree, &test_set)),
+                tree.num_leaves().to_string(),
+            ]);
+        }
+    }
+    println!("-- split-method quality (sequential, pruned) --");
+    quality.print();
+
+    // --- Part 2: parallel runtime SS vs SSE + survival ratio. ---
+    let mut runtime = TableWriter::new(
+        &["method", "runtime_s", "root_survival", "alive_points"],
+        csv,
+    );
+    for method in [SplitMethod::SS, SplitMethod::SSE] {
+        let records = generate(n, GeneratorConfig::default());
+        let mut cfg = experiment_config(n as u64, scale);
+        cfg.clouds.method = method;
+        let farm = DiskFarm::in_memory(p);
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::with_config(p, machine_config(scale));
+        let out = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
+        let survival = out
+            .metrics
+            .iter()
+            .map(|m| m.root_survival_ratio)
+            .fold(0.0f64, f64::max);
+        let alive: u64 = out.metrics.iter().map(|m| m.alive_points_scanned).sum();
+        runtime.row(vec![
+            format!("{method:?}"),
+            format!("{:.3}", out.runtime()),
+            format!("{survival:.4}"),
+            alive.to_string(),
+        ]);
+    }
+    println!("\n-- parallel runtime on {n} records, p={p} --");
+    runtime.print();
+}

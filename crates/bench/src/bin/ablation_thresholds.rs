@@ -1,0 +1,55 @@
+//! **Ablation — switching threshold and memory limit.**
+//!
+//! The paper switches from data to task parallelism at ten intervals and
+//! uses a 1 MB (per 6M tuples) memory limit, but gives "no concrete
+//! criteria for switching" — this harness sweeps both knobs and reports the
+//! runtime, showing the trade-off the paper describes: switching too late
+//! wastes message startups on tiny nodes; switching too early loses the
+//! data-parallel balance; too small a memory limit pays seeks, too large
+//! defeats out-of-core operation.
+
+use pdc_bench::harness::{csv_flag, experiment_config, machine_config, Scale, TableWriter};
+use pdc_cgm::Cluster;
+use pdc_datagen::{GeneratorConfig, RecordStream};
+use pdc_dnc::Strategy;
+use pdc_pario::DiskFarm;
+use pdc_pclouds::{load_dataset_stream, train};
+
+fn run(n: u64, p: usize, scale: Scale, switch: usize, mem: usize) -> f64 {
+    let mut cfg = experiment_config(n, scale);
+    cfg.switch_threshold_intervals = switch;
+    cfg.memory_limit_bytes = mem;
+    let farm = DiskFarm::in_memory(p);
+    let stream = RecordStream::new(GeneratorConfig::default()).take(n as usize);
+    let root = load_dataset_stream(&farm, stream, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+    let cluster = Cluster::with_config(p, machine_config(scale));
+    train(&cluster, &farm, &root, &cfg, Strategy::Mixed).runtime()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let csv = csv_flag();
+    let n = scale.records(3_600_000);
+    let p = 8;
+    let base_mem = experiment_config(n, scale).memory_limit_bytes;
+
+    eprintln!("ablation_thresholds: n={n} p={p} base_mem={base_mem}");
+    let mut sw = TableWriter::new(&["switch_threshold_intervals", "runtime_s"], csv);
+    for switch in [1usize, 5, 10, 25, 50, 100] {
+        let t = run(n, p, scale, switch, base_mem);
+        sw.row(vec![switch.to_string(), format!("{t:.3}")]);
+        eprintln!("  switch={switch}: {t:.3}s");
+    }
+    println!("-- switching threshold sweep (memory limit fixed) --");
+    sw.print();
+
+    let mut mem_table = TableWriter::new(&["memory_limit_kb", "runtime_s"], csv);
+    for factor in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+        let mem = ((base_mem as f64 * factor) as usize).max(8 * 1024);
+        let t = run(n, p, scale, 10, mem);
+        mem_table.row(vec![(mem / 1024).to_string(), format!("{t:.3}")]);
+        eprintln!("  mem={}kb: {t:.3}s", mem / 1024);
+    }
+    println!("\n-- memory limit sweep (switch threshold = 10) --");
+    mem_table.print();
+}

@@ -1,0 +1,77 @@
+//! **Extension — pCLOUDS vs parallel SPRINT (ScalParC-style).**
+//!
+//! The paper positions pCLOUDS against SPRINT-family classifiers: exact
+//! pre-sorted splits, but memory-resident structures that grow with the
+//! training set ("the use of memory-resident hash tables ... limits its
+//! scalability"). This harness trains both on the same data and reports
+//! simulated runtime, accuracy and — the point of CLOUDS — the resident
+//! memory each needs per processor.
+
+use pdc_baselines::build_tree_psprint;
+use pdc_bench::harness::{csv_flag, experiment_config, machine_config, Scale, TableWriter};
+use pdc_cgm::Cluster;
+use pdc_clouds::accuracy;
+use pdc_datagen::{generate, GeneratorConfig};
+use pdc_dnc::Strategy;
+use pdc_pario::DiskFarm;
+use pdc_pclouds::{load_dataset, train};
+
+fn main() {
+    let scale = Scale::from_env();
+    let csv = csv_flag();
+    // Parallel SPRINT holds everything in memory; keep the comparison at a
+    // size both can run.
+    let n = scale.records(1_200_000) as usize;
+    let records = generate(n, GeneratorConfig::default());
+    let test = generate(
+        20_000,
+        GeneratorConfig {
+            seed: 0xfeed,
+            ..GeneratorConfig::default()
+        },
+    );
+    eprintln!("compare_psprint: n={n}");
+    let mut table = TableWriter::new(
+        &[
+            "classifier",
+            "p",
+            "runtime_s",
+            "accuracy",
+            "resident_mb_per_proc",
+        ],
+        csv,
+    );
+    for p in [4usize, 8, 16] {
+        // pCLOUDS: out-of-core, bounded memory.
+        let cfg = experiment_config(n as u64, scale);
+        let farm = DiskFarm::in_memory(p);
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::with_config(p, machine_config(scale));
+        let out = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
+        table.row(vec![
+            "pclouds".into(),
+            p.to_string(),
+            format!("{:.3}", out.runtime()),
+            format!("{:.4}", accuracy(&out.tree, &test)),
+            format!("{:.2}", cfg.memory_limit_bytes as f64 / 1e6),
+        ]);
+
+        // Parallel SPRINT: in-core, replicated maps + distributed lists.
+        let cfg2 = experiment_config(n as u64, scale);
+        let cluster = Cluster::with_config(p, machine_config(scale));
+        let run = cluster.run(|proc| build_tree_psprint(proc, &records, &cfg2.clouds));
+        let (tree, stats) = &run.results[0];
+        let lists_bytes = stats.list_entries * 16; // value + rid + padding
+        table.row(vec![
+            "psprint".into(),
+            p.to_string(),
+            format!("{:.3}", run.makespan()),
+            format!("{:.4}", accuracy(tree, &test)),
+            format!(
+                "{:.2}",
+                (stats.replicated_bytes + lists_bytes) as f64 / 1e6
+            ),
+        ]);
+    }
+    table.print();
+}

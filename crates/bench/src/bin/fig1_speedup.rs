@@ -1,0 +1,63 @@
+//! **Figure 1 — Speedup characteristics.**
+//!
+//! The paper plots speedup (T(1)/T(p)) against the number of processors
+//! (1–16) for training sets of 3.6, 4.8, 6.0 and 7.2 million records
+//! (classification function 2, q_root = 10,000, 1 MB memory limit at 6M
+//! tuples scaled linearly, switch threshold of ten intervals).
+//!
+//! Expected shape: speedup improves with data size; superlinear points
+//! around p = 4 (cache effects + aggregate disk bandwidth); flattening at
+//! p = 16 for the smaller sets.
+//!
+//! `PCLOUDS_SCALE=full` reproduces the paper's sizes; the default is 1/20.
+
+use pdc_bench::harness::{ascii_chart, csv_flag, run_pclouds, Scale, TableWriter};
+use pdc_dnc::Strategy;
+
+fn main() {
+    let scale = Scale::from_env();
+    let csv = csv_flag();
+    let paper_sizes: [u64; 4] = [3_600_000, 4_800_000, 6_000_000, 7_200_000];
+    let procs = [1usize, 2, 4, 8, 16];
+
+    eprintln!(
+        "fig1_speedup: scale {scale:?} (divisor {}), sizes {:?}",
+        scale.divisor(),
+        paper_sizes.map(|s| scale.records(s)),
+    );
+
+    let mut table = TableWriter::new(
+        &["records", "p", "runtime_s", "speedup", "efficiency"],
+        csv,
+    );
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for paper_n in paper_sizes {
+        let n = scale.records(paper_n);
+        let mut t1 = 0.0;
+        let mut points = Vec::new();
+        for &p in &procs {
+            let out = run_pclouds(n, p, scale, Strategy::Mixed);
+            let t = out.runtime();
+            if p == 1 {
+                t1 = t;
+            }
+            let speedup = t1 / t;
+            points.push((p as f64, speedup));
+            table.row(vec![
+                n.to_string(),
+                p.to_string(),
+                format!("{t:.3}"),
+                format!("{speedup:.2}"),
+                format!("{:.2}", speedup / p as f64),
+            ]);
+            eprintln!("  n={n} p={p}: T={t:.3}s speedup={speedup:.2}");
+        }
+        series.push((format!("{n} records"), points));
+    }
+    table.print();
+    if !csv {
+        println!("
+speedup vs processors:");
+        print!("{}", ascii_chart(&series, 56, 16));
+    }
+}

@@ -1,0 +1,63 @@
+//! **Extension — per-phase time breakdown and I/O balance.**
+//!
+//! The paper argues that pCLOUDS "maintains very good load balance for the
+//! performed I/O while keeping the associated overhead low" and that the
+//! partitioning step "gives almost perfect load balance". This harness
+//! reports, per processor, where the virtual time goes (statistics pass,
+//! split derivation, partitioning, small-node redistribution and solving)
+//! and the balance of the I/O volume.
+
+use pdc_bench::harness::{csv_flag, run_pclouds, Scale, TableWriter};
+use pdc_dnc::Strategy;
+
+fn main() {
+    let scale = Scale::from_env();
+    let csv = csv_flag();
+    let n = scale.records(4_800_000);
+    let p = 8;
+    eprintln!("phase_breakdown: n={n} p={p}");
+    let out = run_pclouds(n, p, scale, Strategy::Mixed);
+
+    let mut table = TableWriter::new(
+        &[
+            "rank",
+            "stats_s",
+            "derive_s",
+            "partition_s",
+            "small_redist_s",
+            "small_solve_s",
+            "io_mb",
+            "finish_s",
+        ],
+        csv,
+    );
+    for (rank, (m, s)) in out.metrics.iter().zip(&out.run.stats).enumerate() {
+        let io_mb = (s.counters.disk_read_bytes + s.counters.disk_write_bytes) as f64 / 1e6;
+        table.row(vec![
+            rank.to_string(),
+            format!("{:.3}", m.time_stats),
+            format!("{:.3}", m.time_derive),
+            format!("{:.3}", m.time_partition),
+            format!("{:.3}", m.time_small_redistribute),
+            format!("{:.3}", m.time_small_solve),
+            format!("{io_mb:.2}"),
+            format!("{:.3}", s.finish_time),
+        ]);
+    }
+    table.print();
+
+    // Balance summaries.
+    let io: Vec<f64> = out
+        .run
+        .stats
+        .iter()
+        .map(|s| (s.counters.disk_read_bytes + s.counters.disk_write_bytes) as f64)
+        .collect();
+    let max_io = io.iter().cloned().fold(0.0f64, f64::max);
+    let mean_io = io.iter().sum::<f64>() / io.len() as f64;
+    println!(
+        "\nI/O balance (max/mean): {:.4}   overall runtime imbalance: {:.4}",
+        max_io / mean_io,
+        out.run.imbalance()
+    );
+}

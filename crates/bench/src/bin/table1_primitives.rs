@@ -1,0 +1,111 @@
+//! **Table 1 — Collective communication primitive complexities.**
+//!
+//! The paper states for a cut-through routed hypercube:
+//!
+//! | primitive            | complexity                  |
+//! |----------------------|-----------------------------|
+//! | all-to-all broadcast | `O(ts·log p + tw·m·(p−1))`  |
+//! | gather               | `O(ts·log p + tw·m·p)`      |
+//! | global combine       | `O((ts + tw·m)·log p)`      |
+//! | prefix sum           | `O((ts + tw·m)·log p)`      |
+//!
+//! Collectives here are built from point-to-point messages, so their cost
+//! is *measured* (simulated time) and fitted against the stated model. The
+//! harness reports the fitted coefficients (which should recover the
+//! machine's ts and tw) and the R² of the fit.
+
+use pdc_bench::harness::{csv_flag, least_squares, TableWriter};
+use pdc_cgm::{Cluster, MachineConfig};
+
+/// Measure one collective: returns simulated seconds for (p, m_bytes).
+fn measure(p: usize, m_bytes: usize, which: &str) -> f64 {
+    let cluster = Cluster::new(p);
+    let words = (m_bytes / 8).max(1);
+    let out = cluster.run(|proc| {
+        let payload: Vec<u64> = vec![proc.rank() as u64; words];
+        match which {
+            "all_gather" => {
+                let _ = proc.all_gather(payload);
+            }
+            "gather" => {
+                let _ = proc.gather(0, payload);
+            }
+            "combine" => {
+                let _ = proc.allreduce(payload, |a, b| {
+                    a.iter().zip(&b).map(|(x, y)| x + y).collect()
+                });
+            }
+            "prefix_sum" => {
+                let _ = proc.scan(payload, |a, b| {
+                    a.iter().zip(&b).map(|(x, y)| x + y).collect()
+                });
+            }
+            other => panic!("unknown primitive {other}"),
+        }
+        proc.clock()
+    });
+    out.makespan()
+}
+
+fn main() {
+    let csv = csv_flag();
+    let cfg = MachineConfig::default();
+    let (ts, tw) = (cfg.cost.network.alpha, cfg.cost.network.beta);
+    println!(
+        "machine: ts = {:.1} us, tw = {:.3} ns/byte ({} MB/s)",
+        ts * 1e6,
+        tw * 1e9,
+        (1.0 / tw / 1e6).round()
+    );
+
+    let procs = [2usize, 4, 8, 16, 32];
+    let sizes = [64usize, 1_024, 16_384, 131_072];
+
+    let mut raw = TableWriter::new(&["primitive", "p", "m_bytes", "time_us"], csv);
+    // Model terms per primitive: f(p, m) rows of the design matrix.
+    type Terms = fn(f64, f64) -> Vec<f64>;
+    let models: [(&str, Terms); 4] = [
+        ("all_gather", |p, m| vec![p.log2(), m * (p - 1.0)]),
+        ("gather", |p, m| vec![p.log2(), m * p]),
+        ("combine", |p, m| vec![p.log2(), m * p.log2()]),
+        ("prefix_sum", |p, m| vec![p.log2(), m * p.log2()]),
+    ];
+    let mut fits = TableWriter::new(
+        &["primitive", "model", "ts_fit_us", "tw_fit_ns", "r2"],
+        csv,
+    );
+    for (name, terms) in models {
+        let mut design = Vec::new();
+        let mut ys = Vec::new();
+        for &p in &procs {
+            for &m in &sizes {
+                let t = measure(p, m, name);
+                raw.row(vec![
+                    name.to_string(),
+                    p.to_string(),
+                    m.to_string(),
+                    format!("{:.2}", t * 1e6),
+                ]);
+                design.push(terms(p as f64, m as f64));
+                ys.push(t);
+            }
+        }
+        let (coeffs, r2) = least_squares(&design, &ys);
+        let model = match name {
+            "all_gather" => "ts*log p + tw*m*(p-1)",
+            "gather" => "ts*log p + tw*m*p",
+            _ => "(ts + tw*m)*log p",
+        };
+        fits.row(vec![
+            name.to_string(),
+            model.to_string(),
+            format!("{:.2}", coeffs[0] * 1e6),
+            format!("{:.3}", coeffs[1] * 1e9),
+            format!("{r2:.5}"),
+        ]);
+    }
+    println!("\n-- raw measurements --");
+    raw.print();
+    println!("\n-- model fits (compare ts_fit/tw_fit to the machine constants above) --");
+    fits.print();
+}

@@ -1,0 +1,357 @@
+//! Shared machinery of the figure/table harnesses: workload scaling,
+//! pCLOUDS experiment runs, text/CSV table output and model fitting.
+
+use pdc_cgm::{Cluster, MachineConfig};
+use pdc_clouds::CloudsParams;
+use pdc_datagen::{GeneratorConfig, RecordStream};
+use pdc_dnc::Strategy;
+use pdc_pario::DiskFarm;
+use pdc_pclouds::{load_dataset_stream, train, PcloudsConfig, TrainOutput};
+
+/// Workload scale, selected by the `PCLOUDS_SCALE` environment variable:
+/// `full` runs the paper's record counts, `default` 1/20 of them, `quick`
+/// 1/100 (smoke test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale workloads (3.6M–7.2M records). Hours of wall time.
+    Full,
+    /// 1/20 of the paper (default; minutes of wall time).
+    Default,
+    /// 1/100 of the paper (seconds; for smoke tests).
+    Quick,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("PCLOUDS_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Divisor applied to the paper's record counts.
+    pub fn divisor(self) -> u64 {
+        match self {
+            Scale::Full => 1,
+            Scale::Default => 20,
+            Scale::Quick => 100,
+        }
+    }
+
+    /// Scale a paper-sized record count.
+    pub fn records(self, paper_count: u64) -> u64 {
+        (paper_count / self.divisor()).max(1_000)
+    }
+
+    /// The paper used q_root = 10,000 for millions of records; scale it with
+    /// the data so the interval resolution per record stays comparable.
+    pub fn q_root(self) -> usize {
+        (10_000 / self.divisor() as usize).max(500)
+    }
+}
+
+/// One pCLOUDS experiment: generate `n` records (streamed — never all in
+/// memory), load them onto `p` disks, train, return the output (virtual
+/// runtime = `output.runtime()`).
+pub fn run_pclouds(n: u64, p: usize, scale: Scale, strategy: Strategy) -> TrainOutput {
+    let config = experiment_config(n, scale);
+    let stream = RecordStream::new(GeneratorConfig::default()).take(n as usize);
+    let farm = DiskFarm::in_memory(p);
+    let root = load_dataset_stream(
+        &farm,
+        stream,
+        config.clouds.sample_size,
+        config.clouds.sample_seed,
+    );
+    let cluster = Cluster::with_config(p, machine_config(scale));
+    train(&cluster, &farm, &root, &config, strategy)
+}
+
+/// The simulated machine for a given workload scale. Cache capacities (CPU
+/// cache, per-node disk buffer cache) shrink with the workload so the
+/// cache-crossover processor counts — the source of the paper's superlinear
+/// speedups — land at the same p as at full scale.
+pub fn machine_config(scale: Scale) -> MachineConfig {
+    let mut cfg = MachineConfig::default();
+    let div = scale.divisor() as usize;
+    cfg.cost.disk.cache_bytes = (cfg.cost.disk.cache_bytes / div).max(64 * 1024);
+    cfg.cost.cache.capacity_bytes = (cfg.cost.cache.capacity_bytes / div).max(16 * 1024);
+    // Chunk sizes shrink with the memory limit at reduced scale; scale the
+    // seek latency likewise so the cold-read cost per byte stays what it is
+    // at full scale (otherwise tiny chunks become latency-bound and the
+    // buffer-cache cliff is exaggerated).
+    cfg.cost.disk.access_latency /= div as f64;
+    cfg
+}
+
+/// The paper's configuration for a data set of `n` records: memory limit
+/// 1 MB at 6M tuples scaled linearly, switch threshold of ten intervals,
+/// q_root scaled with the workload scale.
+pub fn experiment_config(n: u64, scale: Scale) -> PcloudsConfig {
+    let mut config = PcloudsConfig::paper_scaled(n);
+    config.clouds = CloudsParams {
+        q_root: scale.q_root(),
+        sample_size: (n as usize / 20).clamp(2_000, 200_000),
+        ..CloudsParams::default()
+    };
+    config
+}
+
+/// Render a table: a header row and aligned columns; optionally also CSV.
+pub struct TableWriter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    csv: bool,
+}
+
+impl TableWriter {
+    /// New table with the given column headers. `csv` selects CSV output
+    /// (pass `--csv` on the harness command line).
+    pub fn new(headers: &[&str], csv: bool) -> Self {
+        TableWriter {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            csv,
+        }
+    }
+
+    /// Append one row (stringify the cells yourself).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row shape mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        if self.csv {
+            println!("{}", self.headers.join(","));
+            for row in &self.rows {
+                println!("{}", row.join(","));
+            }
+            return;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+        );
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+}
+
+/// `--csv` flag from the command line.
+pub fn csv_flag() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Ordinary least squares fit `y ≈ a + b·x`; returns `(a, b, r_squared)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let b = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let a = my - b * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (a + b * x)).powi(2))
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (a, b, r2)
+}
+
+/// Multivariate least squares `y ≈ Σ c_i · f_i(x)` via normal equations
+/// (tiny systems only). Returns the coefficients and R².
+pub fn least_squares(design: &[Vec<f64>], ys: &[f64]) -> (Vec<f64>, f64) {
+    let rows = design.len();
+    assert_eq!(rows, ys.len());
+    let cols = design[0].len();
+    // Normal equations: (XᵀX) c = Xᵀ y.
+    let mut xtx = vec![vec![0.0f64; cols]; cols];
+    let mut xty = vec![0.0f64; cols];
+    for (row, &y) in design.iter().zip(ys) {
+        assert_eq!(row.len(), cols);
+        for i in 0..cols {
+            xty[i] += row[i] * y;
+            for j in 0..cols {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut a = xtx;
+    let mut b = xty;
+    for i in 0..cols {
+        let pivot = (i..cols)
+            .max_by(|&x, &y| a[x][i].abs().partial_cmp(&a[y][i].abs()).unwrap())
+            .unwrap();
+        a.swap(i, pivot);
+        b.swap(i, pivot);
+        let d = a[i][i];
+        assert!(d.abs() > 1e-12, "singular design matrix");
+        for v in a[i][i..cols].iter_mut() {
+            *v /= d;
+        }
+        b[i] /= d;
+        for k in 0..cols {
+            if k != i {
+                let f = a[k][i];
+                let pivot_row = a[i].clone();
+                for (v, pv) in a[k][i..cols].iter_mut().zip(&pivot_row[i..cols]) {
+                    *v -= f * pv;
+                }
+                b[k] -= f * b[i];
+            }
+        }
+    }
+    let coeffs = b;
+    let my = ys.iter().sum::<f64>() / rows as f64;
+    let ss_res: f64 = design
+        .iter()
+        .zip(ys)
+        .map(|(row, &y)| {
+            let pred: f64 = row.iter().zip(&coeffs).map(|(x, c)| x * c).sum();
+            (y - pred).powi(2)
+        })
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (coeffs, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_divisors() {
+        assert_eq!(Scale::Full.records(7_200_000), 7_200_000);
+        assert_eq!(Scale::Default.records(7_200_000), 360_000);
+        assert_eq!(Scale::Quick.records(7_200_000), 72_000);
+        assert_eq!(Scale::Quick.records(10_000), 1_000, "floor");
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_two_terms() {
+        // y = 5*log2(p) + 0.25*m
+        let mut design = Vec::new();
+        let mut ys = Vec::new();
+        for p in [2.0f64, 4.0, 8.0, 16.0] {
+            for m in [100.0f64, 1_000.0, 10_000.0] {
+                design.push(vec![p.log2(), m]);
+                ys.push(5.0 * p.log2() + 0.25 * m);
+            }
+        }
+        let (c, r2) = least_squares(&design, &ys);
+        assert!((c[0] - 5.0).abs() < 1e-6);
+        assert!((c[1] - 0.25).abs() < 1e-6);
+        assert!(r2 > 0.999_999);
+    }
+
+    #[test]
+    fn table_writer_renders_without_panic() {
+        let mut t = TableWriter::new(&["a", "bb"], false);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+        let mut c = TableWriter::new(&["x"], true);
+        c.row(vec!["9".into()]);
+        c.print();
+    }
+}
+
+/// Render one or more `(label, points)` series as an ASCII scatter chart —
+/// a terminal rendition of the paper's figures. Each series gets its own
+/// marker; axes are linear and auto-scaled to the data.
+pub fn ascii_chart(series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_lo, mut x_hi, mut y_lo, mut y_hi) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &points {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    y_lo = y_lo.min(0.0);
+    let (x_span, y_span) = ((x_hi - x_lo).max(1e-12), (y_hi - y_lo).max(1e-12));
+    let mut grid = vec![vec![' '; width]; height];
+    for (s, (_, pts)) in series.iter().enumerate() {
+        let mark = MARKS[s % MARKS.len()];
+        for &(x, y) in pts {
+            let col = (((x - x_lo) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_lo) / y_span) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col.min(width - 1)] = mark;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_val = y_hi - (r as f64 / (height - 1) as f64) * y_span;
+        out.push_str(&format!("{y_val:>8.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>8}  {:<.1}{:>w$.1}\n",
+        "",
+        x_lo,
+        x_hi,
+        w = width.saturating_sub(format!("{x_lo:.1}").len())
+    ));
+    for (s, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKS[s % MARKS.len()], label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::ascii_chart;
+
+    #[test]
+    fn chart_renders_all_series() {
+        let series = vec![
+            ("a".to_string(), vec![(1.0, 1.0), (2.0, 2.0)]),
+            ("b".to_string(), vec![(1.0, 2.0), (2.0, 4.0)]),
+        ];
+        let chart = ascii_chart(&series, 40, 10);
+        assert!(chart.contains('*') && chart.contains('o'));
+        assert!(chart.contains("a") && chart.contains("b"));
+        assert_eq!(ascii_chart(&[], 10, 5), "(no data)\n");
+    }
+}

@@ -1,0 +1,15 @@
+//! # pdc-bench — figure/table harnesses and micro-benchmarks
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5):
+//!
+//! * `table1_primitives` — collective primitive cost scaling,
+//! * `fig1_speedup`, `fig2_sizeup`, `fig3_scaleup` — the pCLOUDS curves,
+//! * `ablation_strategies`, `ablation_sse`, `ablation_thresholds` —
+//!   design-choice ablations.
+//!
+//! Workload scale is controlled by `PCLOUDS_SCALE` (`full` / default /
+//! `quick`); pass `--csv` for machine-readable output.
+
+#![warn(missing_docs)]
+
+pub mod harness;

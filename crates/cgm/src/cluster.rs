@@ -1,0 +1,146 @@
+//! The cluster driver: spawns one OS thread per virtual processor and runs
+//! an SPMD closure on each.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::cost::CostModel;
+use crate::counters::ProcStats;
+use crate::mailbox::Mailbox;
+use crate::proc::{Proc, SharedMachine};
+
+/// Configuration of one simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Cost model (network, disk, compute, cache).
+    pub cost: CostModel,
+    /// Real-time receive timeout used as a deadlock detector.
+    pub recv_timeout: Duration,
+    /// Record a per-processor event trace (see [`crate::trace`]).
+    pub trace: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cost: CostModel::default(),
+            recv_timeout: Duration::from_secs(120),
+            trace: false,
+        }
+    }
+}
+
+/// A simulated coarse-grained machine of `p` processors.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nprocs: usize,
+    config: MachineConfig,
+}
+
+/// Everything a cluster run produces: per-rank results and statistics.
+#[derive(Debug, Clone)]
+pub struct RunOutput<T> {
+    /// Per-rank return values of the SPMD closure, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank statistics (virtual finish time, counters), indexed by rank.
+    pub stats: Vec<ProcStats>,
+}
+
+impl<T> RunOutput<T> {
+    /// Parallel runtime of the run: the maximum virtual finish time.
+    pub fn makespan(&self) -> f64 {
+        self.stats
+            .iter()
+            .map(|s| s.finish_time)
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Aggregate counters over all processors.
+    pub fn total_counters(&self) -> crate::counters::Counters {
+        let mut total = crate::counters::Counters::default();
+        for s in &self.stats {
+            total.merge(&s.counters);
+        }
+        total
+    }
+
+    /// Load-imbalance ratio: makespan divided by mean finish time (1.0 is a
+    /// perfectly balanced run).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.stats.iter().map(|s| s.finish_time).sum::<f64>()
+            / self.stats.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.makespan() / mean
+        }
+    }
+}
+
+impl Cluster {
+    /// Machine of `p` processors with the default cost model.
+    pub fn new(nprocs: usize) -> Self {
+        Self::with_config(nprocs, MachineConfig::default())
+    }
+
+    /// Machine of `p` processors with an explicit configuration.
+    pub fn with_config(nprocs: usize, config: MachineConfig) -> Self {
+        assert!(nprocs >= 1, "a machine needs at least one processor");
+        Cluster { nprocs, config }
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Run `f` on every processor (SPMD). Blocks until all processors
+    /// return; panics (propagating the payload) if any processor panics.
+    pub fn run<T, F>(&self, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Proc) -> T + Sync,
+    {
+        let shared = Arc::new(SharedMachine {
+            cost: self.config.cost.clone(),
+            mailboxes: (0..self.nprocs).map(|_| Mailbox::new()).collect(),
+            recv_timeout: self.config.recv_timeout,
+            trace: self.config.trace,
+        });
+        let f = &f;
+        let mut out: Vec<Option<(T, ProcStats)>> = (0..self.nprocs).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.nprocs)
+                .map(|rank| {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        let mut proc = Proc::new(rank, shared.mailboxes.len(), shared);
+                        let result = f(&mut proc);
+                        (result, proc.into_stats())
+                    })
+                })
+                .collect();
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(pair) => out[rank] = Some(pair),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .map(|s| s.as_str())
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!("cgm: virtual processor {rank} panicked: {msg}");
+                    }
+                }
+            }
+        });
+        let (results, stats): (Vec<T>, Vec<ProcStats>) =
+            out.into_iter().map(Option::unwrap).unzip();
+        RunOutput { results, stats }
+    }
+}

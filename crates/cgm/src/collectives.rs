@@ -1,0 +1,391 @@
+//! Collective communication primitives, built from point-to-point messages
+//! so that their *measured* simulated cost reproduces the complexities of
+//! Table 1 of the paper:
+//!
+//! | primitive            | hypercube cost                      |
+//! |----------------------|-------------------------------------|
+//! | all-to-all broadcast | `O(ts·log p + tw·m·(p-1))`          |
+//! | gather               | `O(ts·log p + tw·m·p)`              |
+//! | global combine       | `O(ts·log p + tw·m)` (per step `m`) |
+//! | prefix sum           | `O((ts + tw·m)·log p)`              |
+//!
+//! All collectives must be called by **every** processor of the machine in
+//! the same program order (SPMD discipline, exactly as with MPI). Combine
+//! functions must be associative and commutative — combination order is
+//! deterministic for a given `p` but is not the rank order.
+
+use crate::proc::{Proc, RESERVED_TAG_BASE};
+use crate::topology::{is_pow2, log2ceil, partner};
+use crate::wire::Wire;
+
+const TAG_BARRIER: u32 = RESERVED_TAG_BASE;
+const TAG_BCAST: u32 = RESERVED_TAG_BASE + 1;
+const TAG_REDUCE: u32 = RESERVED_TAG_BASE + 2;
+const TAG_ALLREDUCE: u32 = RESERVED_TAG_BASE + 3;
+const TAG_SCAN: u32 = RESERVED_TAG_BASE + 4;
+const TAG_GATHER: u32 = RESERVED_TAG_BASE + 5;
+const TAG_ALLGATHER: u32 = RESERVED_TAG_BASE + 6;
+const TAG_ALLTOALL: u32 = RESERVED_TAG_BASE + 7;
+
+impl Proc {
+    /// Relative rank with respect to `root` (tree algorithms are written for
+    /// root 0 and relabeled).
+    fn rel(&self, root: usize) -> usize {
+        (self.rank() + self.nprocs() - root) % self.nprocs()
+    }
+
+    fn abs(&self, rel: usize, root: usize) -> usize {
+        (rel + root) % self.nprocs()
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier
+    // ------------------------------------------------------------------
+
+    /// Synchronize all processors. On return, every clock has advanced to at
+    /// least the maximum clock at entry (plus the messaging cost of the
+    /// underlying dissemination).
+    pub fn barrier(&mut self) {
+        // Dissemination barrier: ceil(log2 p) rounds; works for any p.
+        let p = self.nprocs();
+        if p == 1 {
+            return;
+        }
+        let rounds = log2ceil(p);
+        for r in 0..rounds {
+            let d = 1usize << r;
+            let to = (self.rank() + d) % p;
+            let from = (self.rank() + p - d) % p;
+            self.send(to, TAG_BARRIER + (r << 8), &());
+            let _: () = self.recv(from, TAG_BARRIER + (r << 8));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast
+    // ------------------------------------------------------------------
+
+    /// One-to-all broadcast (binomial tree, any `p`). The root passes
+    /// `Some(value)`; all other ranks pass `None` and receive the value.
+    pub fn broadcast<T: Wire>(&mut self, root: usize, value: Option<T>) -> T {
+        let p = self.nprocs();
+        let rel = self.rel(root);
+        if rel == 0 {
+            let v = value.expect("broadcast root must supply a value");
+            if p == 1 {
+                return v;
+            }
+            let bytes = v.to_bytes();
+            self.bcast_bytes_from_rel0(root, &bytes);
+            return v;
+        }
+        assert!(value.is_none(), "non-root rank passed a broadcast value");
+        let bytes = self.bcast_recv_and_forward(root);
+        T::from_bytes(&bytes).expect("broadcast decode")
+    }
+
+    fn bcast_bytes_from_rel0(&mut self, root: usize, bytes: &[u8]) {
+        let p = self.nprocs();
+        let d = log2ceil(p);
+        for i in (0..d).rev() {
+            let mask = 1usize << i;
+            let peer_rel = mask; // root's peer at this step
+            if peer_rel < p {
+                let dst = self.abs(peer_rel, root);
+                self.send_bytes(dst, TAG_BCAST + (i << 8), bytes.to_vec());
+            }
+        }
+    }
+
+    fn bcast_recv_and_forward(&mut self, root: usize) -> Vec<u8> {
+        let p = self.nprocs();
+        let rel = self.rel(root);
+        let d = log2ceil(p);
+        let mut received: Option<Vec<u8>> = None;
+        for i in (0..d).rev() {
+            let mask = 1usize << i;
+            if rel & (mask - 1) != 0 {
+                continue; // not yet participating at this step
+            }
+            if rel & mask != 0 {
+                // Receive exactly once, at i == lowest set bit of rel.
+                if received.is_none() {
+                    let src = self.abs(rel & !mask, root);
+                    received = Some(self.recv_bytes(src, TAG_BCAST + (i << 8)));
+                }
+            } else if received.is_some() {
+                let peer_rel = rel | mask;
+                if peer_rel < p {
+                    let dst = self.abs(peer_rel, root);
+                    let bytes = received.as_ref().unwrap().clone();
+                    self.send_bytes(dst, TAG_BCAST + (i << 8), bytes);
+                }
+            }
+        }
+        received.expect("broadcast: non-root received nothing")
+    }
+
+    // ------------------------------------------------------------------
+    // Reduce / global combine
+    // ------------------------------------------------------------------
+
+    /// All-to-one reduction (binomial tree, any `p`). Returns `Some(result)`
+    /// on `root`, `None` elsewhere. `combine` must be associative and
+    /// commutative.
+    pub fn reduce<T: Wire>(
+        &mut self,
+        root: usize,
+        value: T,
+        combine: impl Fn(T, T) -> T,
+    ) -> Option<T> {
+        let p = self.nprocs();
+        if p == 1 {
+            return Some(value);
+        }
+        let rel = self.rel(root);
+        let d = log2ceil(p);
+        let mut acc = value;
+        for i in 0..d {
+            let mask = 1usize << i;
+            if rel & (mask - 1) != 0 {
+                unreachable!("rank already retired from reduction");
+            }
+            if rel & mask != 0 {
+                let dst = self.abs(rel & !mask, root);
+                self.send(dst, TAG_REDUCE + (i << 8), &acc);
+                return None;
+            }
+            let peer_rel = rel | mask;
+            if peer_rel < p {
+                let src = self.abs(peer_rel, root);
+                let other: T = self.recv(src, TAG_REDUCE + (i << 8));
+                acc = combine(acc, other);
+            }
+        }
+        debug_assert_eq!(rel, 0);
+        Some(acc)
+    }
+
+    /// All-to-all reduction: every rank gets the combined value.
+    ///
+    /// Uses recursive doubling when `p` is a power of two (cost
+    /// `(ts + tw·m)·log p`), otherwise reduce-to-0 followed by broadcast.
+    pub fn allreduce<T: Wire>(&mut self, value: T, combine: impl Fn(T, T) -> T) -> T {
+        let p = self.nprocs();
+        if p == 1 {
+            return value;
+        }
+        if is_pow2(p) {
+            let d = log2ceil(p);
+            let mut acc = value;
+            for i in 0..d {
+                let peer = partner(self.rank(), i);
+                let other: T = self.exchange(peer, TAG_ALLREDUCE + (i << 8), &acc);
+                // Deterministic combination order: lower rank's contribution
+                // first.
+                acc = if self.rank() < peer {
+                    combine(acc, other)
+                } else {
+                    combine(other, acc)
+                };
+            }
+            acc
+        } else {
+            let reduced = self.reduce(0, value, combine);
+            self.broadcast(0, reduced)
+        }
+    }
+
+    /// Global minimum with the rank that achieved it (ties broken by lower
+    /// rank). This is the paper's "min-reduction primitive on the local
+    /// minimum gini indices".
+    pub fn min_loc(&mut self, value: f64) -> (f64, usize) {
+        let pair = (value, self.rank() as u64);
+        let (v, r) = self.allreduce(pair, |a, b| {
+            if (b.0, b.1) < (a.0, a.1) {
+                b
+            } else {
+                a
+            }
+        });
+        (v, r as usize)
+    }
+
+    // ------------------------------------------------------------------
+    // Prefix sum (scan)
+    // ------------------------------------------------------------------
+
+    /// Inclusive prefix combine (Hillis–Steele, any `p`): rank `i` gets
+    /// `v_0 (+) v_1 (+) … (+) v_i`. `combine` must be associative.
+    pub fn scan<T: Wire + Clone>(&mut self, value: T, combine: impl Fn(T, T) -> T) -> T {
+        let p = self.nprocs();
+        let mut acc = value;
+        let mut d = 1usize;
+        let mut step = 0u32;
+        while d < p {
+            let tag = TAG_SCAN + (step << 8);
+            let outgoing = acc.clone();
+            if self.rank() + d < p {
+                self.send(self.rank() + d, tag, &outgoing);
+            }
+            if self.rank() >= d {
+                let other: T = self.recv(self.rank() - d, tag);
+                acc = combine(other, acc);
+            }
+            d *= 2;
+            step += 1;
+        }
+        acc
+    }
+
+    /// Exclusive prefix combine: rank `i` gets `v_0 (+) … (+) v_{i-1}`, and
+    /// rank 0 gets `identity`.
+    pub fn exscan<T: Wire + Clone>(
+        &mut self,
+        value: T,
+        identity: T,
+        combine: impl Fn(T, T) -> T,
+    ) -> T {
+        // Run an inclusive scan of (identity-shifted) pairs: simplest correct
+        // formulation is an inclusive scan followed by a shift via p2p.
+        let p = self.nprocs();
+        let inclusive = self.scan(value, combine);
+        if p == 1 {
+            return identity;
+        }
+        let tag = TAG_SCAN + (31 << 8);
+        if self.rank() + 1 < p {
+            self.send(self.rank() + 1, tag, &inclusive);
+        }
+        if self.rank() == 0 {
+            identity
+        } else {
+            self.recv(self.rank() - 1, tag)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gather / all-gather
+    // ------------------------------------------------------------------
+
+    /// All-to-one gather (binomial tree). Returns `Some(values)` on `root`
+    /// (indexed by rank), `None` elsewhere.
+    pub fn gather<T: Wire>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let p = self.nprocs();
+        let rel = self.rel(root);
+        let d = log2ceil(p);
+        // Accumulate (rank, encoded value) pairs up the binomial tree so the
+        // message volume doubles per level: ts·log p + tw·m·p total at root.
+        let mut acc: Vec<(u64, Vec<u8>)> = vec![(self.rank() as u64, value.to_bytes())];
+        for i in 0..d {
+            let mask = 1usize << i;
+            if rel & (mask - 1) != 0 {
+                unreachable!("rank already retired from gather");
+            }
+            if rel & mask != 0 {
+                let dst = self.abs(rel & !mask, root);
+                self.send(dst, TAG_GATHER + (i << 8), &acc);
+                return None;
+            }
+            let peer_rel = rel | mask;
+            if peer_rel < p {
+                let src = self.abs(peer_rel, root);
+                let mut other: Vec<(u64, Vec<u8>)> =
+                    self.recv(src, TAG_GATHER + (i << 8));
+                acc.append(&mut other);
+            }
+        }
+        debug_assert_eq!(rel, 0);
+        acc.sort_by_key(|(rank, _)| *rank);
+        debug_assert_eq!(acc.len(), p);
+        Some(
+            acc.into_iter()
+                .map(|(_, bytes)| T::from_bytes(&bytes).expect("gather decode"))
+                .collect(),
+        )
+    }
+
+    /// All-to-all broadcast (all-gather): every rank gets every rank's value,
+    /// indexed by rank. Recursive doubling on power-of-two `p`
+    /// (`ts·log p + tw·m·(p-1)`), ring otherwise.
+    pub fn all_gather<T: Wire>(&mut self, value: T) -> Vec<T> {
+        let p = self.nprocs();
+        if p == 1 {
+            return vec![value];
+        }
+        let mut acc: Vec<(u64, Vec<u8>)> = vec![(self.rank() as u64, value.to_bytes())];
+        if is_pow2(p) {
+            let d = log2ceil(p);
+            for i in 0..d {
+                let peer = partner(self.rank(), i);
+                let mut other: Vec<(u64, Vec<u8>)> =
+                    self.exchange(peer, TAG_ALLGATHER + (i << 8), &acc);
+                acc.append(&mut other);
+            }
+        } else {
+            // Ring: p-1 steps, forward what was received in the previous step.
+            let next = (self.rank() + 1) % p;
+            let prev = (self.rank() + p - 1) % p;
+            let mut to_forward = acc.clone();
+            for i in 0..p - 1 {
+                let tag = TAG_ALLGATHER + ((i as u32 & 0xFF) << 8);
+                self.send(next, tag, &to_forward);
+                let received: Vec<(u64, Vec<u8>)> = self.recv(prev, tag);
+                acc.extend(received.iter().cloned());
+                to_forward = received;
+            }
+        }
+        acc.sort_by_key(|(rank, _)| *rank);
+        debug_assert_eq!(acc.len(), p);
+        acc.into_iter()
+            .map(|(_, bytes)| T::from_bytes(&bytes).expect("all_gather decode"))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // All-to-all personalized (v)
+    // ------------------------------------------------------------------
+
+    /// Personalized all-to-all: `parts[j]` is delivered to rank `j`; the
+    /// result's element `i` is what rank `i` addressed to this rank.
+    /// `parts[self.rank()]` is returned in place without transfer cost.
+    pub fn all_to_all<T: Wire>(&mut self, mut parts: Vec<T>) -> Vec<T> {
+        let p = self.nprocs();
+        assert_eq!(parts.len(), p, "all_to_all needs exactly one part per rank");
+        if p == 1 {
+            return parts;
+        }
+        // Pairwise exchange schedule: in step k talk to rank ^ k when p is a
+        // power of two (perfectly matched pairs), otherwise (rank + k) mod p.
+        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        // Keep own part.
+        let own = parts.remove(self.rank());
+        // Re-insert placeholder to keep indices stable.
+        parts.insert(self.rank(), own);
+        let mut parts: Vec<Option<T>> = parts.into_iter().map(Some).collect();
+        slots[self.rank()] = parts[self.rank()].take();
+        if is_pow2(p) {
+            for k in 1..p {
+                let peer = self.rank() ^ k;
+                let tag = TAG_ALLTOALL + ((k as u32 & 0xFFFF) << 8);
+                let outgoing = parts[peer].take().expect("part already sent");
+                let received = self.exchange(peer, tag, &outgoing);
+                slots[peer] = Some(received);
+            }
+        } else {
+            for k in 1..p {
+                let to = (self.rank() + k) % p;
+                let from = (self.rank() + p - k) % p;
+                let tag = TAG_ALLTOALL + ((k as u32 & 0xFFFF) << 8);
+                let outgoing = parts[to].take().expect("part already sent");
+                self.send(to, tag, &outgoing);
+                let received: T = self.recv(from, tag);
+                slots[from] = Some(received);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("missing all_to_all slot"))
+            .collect()
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-processor accounting: operation counts, message traffic, disk I/O and
+//! the breakdown of virtual time into compute / communication / I/O / idle.
+
+use crate::cost::{OpKind, ALL_OP_KINDS};
+
+/// Mutable counters owned by one virtual processor. Cheap to update (plain
+/// integer adds, no synchronization — each processor owns its own).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Counters {
+    /// Operation counts indexed by [`OpKind::index`].
+    pub ops: [u64; 7],
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub messages_received: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Disk read requests issued.
+    pub disk_reads: u64,
+    /// Bytes read from the local disk.
+    pub disk_read_bytes: u64,
+    /// Disk write requests issued.
+    pub disk_writes: u64,
+    /// Bytes written to the local disk.
+    pub disk_write_bytes: u64,
+    /// Virtual seconds spent computing.
+    pub compute_time: f64,
+    /// Virtual seconds spent in communication (send cost + wait-for-message).
+    pub comm_time: f64,
+    /// Virtual seconds spent on local disk I/O.
+    pub io_time: f64,
+}
+
+impl Counters {
+    /// Record `count` operations of `kind`.
+    pub fn add_ops(&mut self, kind: OpKind, count: u64) {
+        self.ops[kind.index()] += count;
+    }
+
+    /// Total operations across all kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Merge another processor's counters into this one (for aggregate
+    /// reports).
+    pub fn merge(&mut self, other: &Counters) {
+        for k in ALL_OP_KINDS {
+            self.ops[k.index()] += other.ops[k.index()];
+        }
+        self.messages_sent += other.messages_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.messages_received += other.messages_received;
+        self.bytes_received += other.bytes_received;
+        self.disk_reads += other.disk_reads;
+        self.disk_read_bytes += other.disk_read_bytes;
+        self.disk_writes += other.disk_writes;
+        self.disk_write_bytes += other.disk_write_bytes;
+        self.compute_time += other.compute_time;
+        self.comm_time += other.comm_time;
+        self.io_time += other.io_time;
+    }
+}
+
+/// Immutable snapshot returned for each processor after a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcStats {
+    /// Processor rank.
+    pub rank: usize,
+    /// Final virtual clock value, seconds.
+    pub finish_time: f64,
+    /// Accumulated counters.
+    pub counters: Counters,
+    /// Event trace (empty unless [`crate::MachineConfig::trace`] is set).
+    pub trace: Vec<crate::trace::TraceEvent>,
+}
+
+impl ProcStats {
+    /// Seconds not attributed to compute, comm or I/O (waiting at
+    /// synchronization points, load imbalance).
+    pub fn idle_time(&self) -> f64 {
+        (self.finish_time
+            - self.counters.compute_time
+            - self.counters.comm_time
+            - self.counters.io_time)
+            .max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::OpKind;
+
+    #[test]
+    fn add_and_total_ops() {
+        let mut c = Counters::default();
+        c.add_ops(OpKind::Compare, 10);
+        c.add_ops(OpKind::Compare, 5);
+        c.add_ops(OpKind::GiniEval, 2);
+        assert_eq!(c.ops[OpKind::Compare.index()], 15);
+        assert_eq!(c.total_ops(), 17);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Counters::default();
+        a.add_ops(OpKind::RecordScan, 3);
+        a.bytes_sent = 100;
+        a.compute_time = 1.0;
+        let mut b = Counters::default();
+        b.add_ops(OpKind::RecordScan, 4);
+        b.bytes_sent = 50;
+        b.compute_time = 0.5;
+        a.merge(&b);
+        assert_eq!(a.ops[OpKind::RecordScan.index()], 7);
+        assert_eq!(a.bytes_sent, 150);
+        assert!((a.compute_time - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_time_never_negative() {
+        let stats = ProcStats {
+            rank: 0,
+            finish_time: 1.0,
+            counters: Counters {
+                compute_time: 2.0,
+                ..Counters::default()
+            },
+            trace: Vec::new(),
+        };
+        assert_eq!(stats.idle_time(), 0.0);
+    }
+
+    #[test]
+    fn idle_time_is_remainder() {
+        let stats = ProcStats {
+            rank: 0,
+            finish_time: 10.0,
+            counters: Counters {
+                compute_time: 4.0,
+                comm_time: 3.0,
+                io_time: 2.0,
+                ..Counters::default()
+            },
+            trace: Vec::new(),
+        };
+        assert!((stats.idle_time() - 1.0).abs() < 1e-12);
+    }
+}

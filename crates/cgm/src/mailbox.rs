@@ -1,0 +1,141 @@
+//! Mailboxes: the physical transport between virtual processors.
+//!
+//! Each processor owns one mailbox. A send appends a [`Message`] to the
+//! destination's mailbox; a receive blocks the calling OS thread until a
+//! message matching `(src, tag)` is present, then removes the *earliest*
+//! such message (per-(src, tag) FIFO order, which is what MPI guarantees for
+//! matching sends/receives between a pair of processes).
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A message in flight between two virtual processors.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending processor's rank.
+    pub src: usize,
+    /// Message tag (collectives use the reserved range `>= 0xF000_0000`).
+    pub tag: u32,
+    /// Encoded payload.
+    pub payload: Vec<u8>,
+    /// Virtual time at which the message is fully available at the receiver
+    /// (sender's clock after being charged `alpha + beta * len`).
+    pub arrive_time: f64,
+}
+
+/// One processor's incoming-message queue.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<Vec<Message>>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message and wake any waiting receiver.
+    pub fn push(&self, msg: Message) {
+        let mut q = self.queue.lock();
+        q.push(msg);
+        self.cond.notify_all();
+    }
+
+    /// Block until a message from `src` with `tag` is available and return
+    /// the earliest one. Panics after `timeout` with a diagnostic — in a
+    /// correct SPMD program this only happens on a real deadlock.
+    pub fn recv(&self, src: usize, tag: u32, timeout: Duration) -> Message {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                return q.remove(pos);
+            }
+            let timed_out = self.cond.wait_for(&mut q, timeout).timed_out();
+            if timed_out && !q.iter().any(|m| m.src == src && m.tag == tag) {
+                panic!(
+                    "cgm: receive timed out waiting for message src={} tag={:#x}; \
+                     {} unmatched message(s) pending: {:?}",
+                    src,
+                    tag,
+                    q.len(),
+                    q.iter().map(|m| (m.src, m.tag)).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    /// Non-blocking probe: is a matching message available?
+    pub fn probe(&self, src: usize, tag: u32) -> bool {
+        self.queue.lock().iter().any(|m| m.src == src && m.tag == tag)
+    }
+
+    /// Number of queued messages (diagnostics).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the mailbox has no queued messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_secs(5);
+
+    fn msg(src: usize, tag: u32, byte: u8) -> Message {
+        Message {
+            src,
+            tag,
+            payload: vec![byte],
+            arrive_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn fifo_per_src_tag() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 7, 10));
+        mb.push(msg(1, 7, 20));
+        assert_eq!(mb.recv(1, 7, T).payload, vec![10]);
+        assert_eq!(mb.recv(1, 7, T).payload, vec![20]);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn matching_skips_other_sources_and_tags() {
+        let mb = Mailbox::new();
+        mb.push(msg(2, 7, 1));
+        mb.push(msg(1, 8, 2));
+        mb.push(msg(1, 7, 3));
+        assert_eq!(mb.recv(1, 7, T).payload, vec![3]);
+        assert_eq!(mb.len(), 2);
+        assert!(mb.probe(2, 7));
+        assert!(mb.probe(1, 8));
+        assert!(!mb.probe(1, 7));
+    }
+
+    #[test]
+    fn recv_blocks_until_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv(0, 1, T));
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(msg(0, 1, 42));
+        assert_eq!(handle.join().unwrap().payload, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "receive timed out")]
+    fn recv_timeout_panics() {
+        let mb = Mailbox::new();
+        mb.recv(0, 1, Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,240 @@
+//! A virtual processor of the simulated coarse-grained machine.
+//!
+//! [`Proc`] is the handle an SPMD closure receives. It carries the
+//! processor's rank, its **virtual clock**, its accounting counters and the
+//! communication endpoints. Everything the algorithm does that costs time on
+//! the modeled machine must be *charged*:
+//!
+//! * computation via [`Proc::charge`] / [`Proc::charge_ws`];
+//! * local disk traffic via [`Proc::disk_read`] / [`Proc::disk_write`];
+//! * communication implicitly via [`Proc::send`] / [`Proc::recv`] and the
+//!   collectives built on them.
+//!
+//! Messages physically move real bytes between OS threads; only *time* is
+//! simulated. A receive completes at
+//! `max(receiver clock, sender clock at send completion)` which yields the
+//! usual `alpha + beta * m` point-to-point model with blocking sends.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::cost::{CostModel, OpKind};
+use crate::counters::Counters;
+use crate::mailbox::{Mailbox, Message};
+use crate::trace::{EventKind, TraceEvent};
+use crate::wire::Wire;
+
+/// Tags below this bound are free for application use; tags at or above it
+/// are reserved for collectives.
+pub const RESERVED_TAG_BASE: u32 = 0xF000_0000;
+
+/// Immutable, shared state of one cluster run.
+pub struct SharedMachine {
+    /// Cost model of the machine.
+    pub cost: CostModel,
+    /// One mailbox per processor.
+    pub mailboxes: Vec<Mailbox>,
+    /// Real-time receive timeout (deadlock detector).
+    pub recv_timeout: Duration,
+    /// Whether processors record event traces.
+    pub trace: bool,
+}
+
+/// Handle to one virtual processor, passed to the SPMD closure.
+pub struct Proc {
+    rank: usize,
+    nprocs: usize,
+    clock: f64,
+    shared: Arc<SharedMachine>,
+    /// Accounting counters (public so substrates like the I/O layer can
+    /// record domain-specific totals through helper methods).
+    pub counters: Counters,
+    trace: Vec<TraceEvent>,
+}
+
+impl Proc {
+    /// Internal constructor used by the cluster driver.
+    pub(crate) fn new(rank: usize, nprocs: usize, shared: Arc<SharedMachine>) -> Self {
+        Proc {
+            rank,
+            nprocs,
+            clock: 0.0,
+            shared,
+            counters: Counters::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// This processor's rank in `0..nprocs`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processors in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current virtual time, seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The machine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
+    // ------------------------------------------------------------------
+    // Charging
+    // ------------------------------------------------------------------
+
+    /// Advance the clock by raw `seconds` of computation.
+    pub fn advance_compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative compute charge");
+        self.clock += seconds;
+        self.counters.compute_time += seconds;
+    }
+
+    /// Charge `count` operations of `kind`.
+    pub fn charge(&mut self, kind: OpKind, count: u64) {
+        self.counters.add_ops(kind, count);
+        let secs = self.shared.cost.compute_cost(kind, count);
+        self.clock += secs;
+        self.counters.compute_time += secs;
+        self.trace_event(EventKind::Compute { kind, count, seconds: secs });
+    }
+
+    fn trace_event(&mut self, kind: EventKind) {
+        if self.shared.trace {
+            self.trace.push(TraceEvent { time: self.clock, kind });
+        }
+    }
+
+    /// Charge `count` operations of `kind` over a working set of
+    /// `working_set_bytes` (cache-adjusted: charges less when it fits).
+    pub fn charge_ws(&mut self, kind: OpKind, count: u64, working_set_bytes: usize) {
+        self.counters.add_ops(kind, count);
+        let secs = self
+            .shared
+            .cost
+            .compute_cost_ws(kind, count, working_set_bytes);
+        self.clock += secs;
+        self.counters.compute_time += secs;
+        self.trace_event(EventKind::Compute { kind, count, seconds: secs });
+    }
+
+    /// Charge one local-disk read request of `bytes`.
+    pub fn disk_read(&mut self, bytes: usize) {
+        // No working-set information: assume a cold (platter) transfer.
+        self.disk_read_ws(bytes, usize::MAX);
+    }
+
+    /// Charge one read of `bytes` from a file of `working_set_bytes`
+    /// (buffer-cache aware: cheap when the file fits the node cache).
+    pub fn disk_read_ws(&mut self, bytes: usize, working_set_bytes: usize) {
+        let secs = self.shared.cost.disk.transfer_cost_ws(bytes, working_set_bytes);
+        self.clock += secs;
+        self.counters.io_time += secs;
+        self.counters.disk_reads += 1;
+        self.counters.disk_read_bytes += bytes as u64;
+        self.trace_event(EventKind::Disk { read: true, bytes, seconds: secs });
+    }
+
+    /// Charge one local-disk write request of `bytes`.
+    pub fn disk_write(&mut self, bytes: usize) {
+        self.disk_write_ws(bytes, usize::MAX);
+    }
+
+    /// Charge one write of `bytes` to a file of `working_set_bytes`
+    /// (write-back buffer cache when the file fits).
+    pub fn disk_write_ws(&mut self, bytes: usize, working_set_bytes: usize) {
+        let secs = self.shared.cost.disk.transfer_cost_ws(bytes, working_set_bytes);
+        self.clock += secs;
+        self.counters.io_time += secs;
+        self.counters.disk_writes += 1;
+        self.counters.disk_write_bytes += bytes as u64;
+        self.trace_event(EventKind::Disk { read: false, bytes, seconds: secs });
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point communication
+    // ------------------------------------------------------------------
+
+    /// Send already-encoded bytes to `dst` with `tag` (blocking-send cost
+    /// semantics: the sender is charged `alpha + beta * len`).
+    pub fn send_bytes(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        assert_ne!(dst, self.rank, "self-send is not modeled; use local data");
+        let cost = self.shared.cost.network.message_cost(payload.len());
+        self.clock += cost;
+        self.counters.comm_time += cost;
+        self.counters.messages_sent += 1;
+        self.counters.bytes_sent += payload.len() as u64;
+        self.trace_event(EventKind::Send { dst, tag, bytes: payload.len() });
+        self.shared.mailboxes[dst].push(Message {
+            src: self.rank,
+            tag,
+            payload,
+            arrive_time: self.clock,
+        });
+    }
+
+    /// Receive raw bytes from `src` with `tag`. The clock advances to the
+    /// message's arrival time if that is later (waiting counts as
+    /// communication time).
+    pub fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
+        assert_ne!(src, self.rank, "self-recv is not modeled");
+        let msg =
+            self.shared.mailboxes[self.rank].recv(src, tag, self.shared.recv_timeout);
+        let waited = (msg.arrive_time - self.clock).max(0.0);
+        if msg.arrive_time > self.clock {
+            self.counters.comm_time += msg.arrive_time - self.clock;
+            self.clock = msg.arrive_time;
+        }
+        self.counters.messages_received += 1;
+        self.counters.bytes_received += msg.payload.len() as u64;
+        self.trace_event(EventKind::Recv {
+            src,
+            tag,
+            bytes: msg.payload.len(),
+            waited,
+        });
+        msg.payload
+    }
+
+    /// Typed send.
+    pub fn send<T: Wire>(&mut self, dst: usize, tag: u32, value: &T) {
+        self.send_bytes(dst, tag, value.to_bytes());
+    }
+
+    /// Typed receive. Panics on a decode failure (indicates a programming
+    /// error: mismatched send/recv types).
+    pub fn recv<T: Wire>(&mut self, src: usize, tag: u32) -> T {
+        let bytes = self.recv_bytes(src, tag);
+        T::from_bytes(&bytes).unwrap_or_else(|e| {
+            panic!(
+                "cgm: rank {} failed to decode message from {} tag {:#x}: {}",
+                self.rank, src, tag, e
+            )
+        })
+    }
+
+    /// Simultaneous exchange with a partner: both sides send then receive.
+    /// (The physical send is buffered, so this cannot deadlock.)
+    pub fn exchange<T: Wire>(&mut self, peer: usize, tag: u32, value: &T) -> T {
+        self.send(peer, tag, value);
+        self.recv(peer, tag)
+    }
+
+    /// Snapshot of this processor's final statistics.
+    pub(crate) fn into_stats(self) -> crate::counters::ProcStats {
+        crate::counters::ProcStats {
+            rank: self.rank,
+            finish_time: self.clock,
+            counters: self.counters,
+            trace: self.trace,
+        }
+    }
+}

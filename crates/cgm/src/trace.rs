@@ -1,0 +1,174 @@
+//! Optional event tracing of a cluster run.
+//!
+//! When [`crate::MachineConfig::trace`] is enabled, every virtual processor
+//! records a timestamped event per message, compute charge and disk
+//! request. Traces come back in [`crate::ProcStats::trace`] and can be
+//! summarized into a per-processor utilization timeline — handy for seeing
+//! where a run's load imbalance lives.
+
+use crate::cost::OpKind;
+
+/// One traced event (timestamp = virtual clock *after* the event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time at event completion, seconds.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of traced events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Sent a message.
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: u32,
+        /// Payload bytes.
+        bytes: usize,
+    },
+    /// Received a message.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: u32,
+        /// Payload bytes.
+        bytes: usize,
+        /// Seconds spent waiting for the message to arrive.
+        waited: f64,
+    },
+    /// Charged computation.
+    Compute {
+        /// Operation kind.
+        kind: OpKind,
+        /// Operation count.
+        count: u64,
+        /// Seconds charged.
+        seconds: f64,
+    },
+    /// A disk request.
+    Disk {
+        /// True for reads, false for writes.
+        read: bool,
+        /// Bytes transferred.
+        bytes: usize,
+        /// Seconds charged.
+        seconds: f64,
+    },
+}
+
+/// Activity classes for timeline summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Computing.
+    Compute,
+    /// Communicating (send cost or waiting on a receive).
+    Comm,
+    /// Local disk I/O.
+    Io,
+    /// Idle (nothing attributed).
+    Idle,
+}
+
+/// Summarize a trace into `buckets` equal time slices of `[0, horizon]`,
+/// reporting the dominant activity per slice. Useful as a coarse ASCII
+/// Gantt chart: `C` compute, `M` message, `D` disk, `.` idle.
+pub fn timeline(trace: &[TraceEvent], horizon: f64, buckets: usize) -> String {
+    assert!(buckets > 0);
+    if horizon <= 0.0 {
+        return ".".repeat(buckets);
+    }
+    // Accumulate attributed seconds per bucket per class.
+    let mut acc = vec![[0.0f64; 3]; buckets]; // [compute, comm, io]
+    let width = horizon / buckets as f64;
+    let mut add = |start: f64, end: f64, class: usize| {
+        let (start, end) = (start.max(0.0), end.min(horizon));
+        if end <= start {
+            return;
+        }
+        let first = ((start / width) as usize).min(buckets - 1);
+        let last = ((end / width) as usize).min(buckets - 1);
+        for (b, slot) in acc.iter_mut().enumerate().take(last + 1).skip(first) {
+            let b_start = b as f64 * width;
+            let b_end = b_start + width;
+            let overlap = end.min(b_end) - start.max(b_start);
+            if overlap > 0.0 {
+                slot[class] += overlap;
+            }
+        }
+    };
+    for e in trace {
+        match &e.kind {
+            EventKind::Send { bytes, .. } => {
+                // Send duration is not recorded directly; approximate as
+                // negligible width at the timestamp.
+                add(e.time - 1e-9, e.time, 1);
+                let _ = bytes;
+            }
+            EventKind::Recv { waited, .. } => add(e.time - waited, e.time, 1),
+            EventKind::Compute { seconds, .. } => add(e.time - seconds, e.time, 0),
+            EventKind::Disk { seconds, .. } => add(e.time - seconds, e.time, 2),
+        }
+    }
+    acc.iter()
+        .map(|slot| {
+            let busy = slot[0] + slot[1] + slot[2];
+            if busy < width * 0.05 {
+                '.'
+            } else if slot[0] >= slot[1] && slot[0] >= slot[2] {
+                'C'
+            } else if slot[1] >= slot[2] {
+                'M'
+            } else {
+                'D'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_classifies_dominant_activity() {
+        let trace = vec![
+            TraceEvent {
+                time: 1.0,
+                kind: EventKind::Compute {
+                    kind: OpKind::Misc,
+                    count: 1,
+                    seconds: 1.0,
+                },
+            },
+            TraceEvent {
+                time: 2.0,
+                kind: EventKind::Disk {
+                    read: true,
+                    bytes: 100,
+                    seconds: 1.0,
+                },
+            },
+            TraceEvent {
+                time: 4.0,
+                kind: EventKind::Recv {
+                    src: 0,
+                    tag: 0,
+                    bytes: 8,
+                    waited: 1.0,
+                },
+            },
+        ];
+        let line = timeline(&trace, 4.0, 4);
+        assert_eq!(line, "CD.M");
+    }
+
+    #[test]
+    fn empty_trace_is_idle() {
+        assert_eq!(timeline(&[], 10.0, 5), ".....");
+        assert_eq!(timeline(&[], 0.0, 3), "...");
+    }
+}

@@ -1,0 +1,283 @@
+//! Binary wire encoding for messages exchanged between virtual processors.
+//!
+//! The paper's pCLOUDS implementation uses raw MPI buffers; we keep the same
+//! spirit with an explicit, hand-rolled little-endian encoding instead of a
+//! general serialization framework. Every type that crosses a processor
+//! boundary implements [`Wire`]. Encodings are self-delimiting, so tuples and
+//! nested containers compose without extra framing.
+
+use std::fmt;
+
+/// Error produced when decoding a malformed or truncated message payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Human-readable description of what failed to decode.
+    pub what: &'static str,
+    /// Byte offset (from the end backwards is not tracked; this is the number
+    /// of bytes that remained when the failure happened).
+    pub remaining: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wire decode error: {} ({} bytes remaining)",
+            self.what, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Result alias for decode operations.
+pub type DecodeResult<T> = Result<T, DecodeError>;
+
+/// Types that can be sent over the simulated network.
+///
+/// Implementations must be *self-delimiting*: `decode` consumes exactly the
+/// bytes produced by `encode` and leaves the rest of the buffer untouched.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decode a value from the front of `buf`, advancing the slice.
+    fn decode(buf: &mut &[u8]) -> DecodeResult<Self>;
+
+    /// Convenience: encode into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: decode from a complete byte slice, requiring that every
+    /// byte is consumed.
+    fn from_bytes(mut bytes: &[u8]) -> DecodeResult<Self> {
+        let v = Self::decode(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(DecodeError {
+                what: "trailing bytes after value",
+                remaining: bytes.len(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> DecodeResult<&'a [u8]> {
+    if buf.len() < n {
+        return Err(DecodeError {
+            what,
+            remaining: buf.len(),
+        });
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+macro_rules! impl_wire_le {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> DecodeResult<Self> {
+                let bytes = take(buf, std::mem::size_of::<$t>(), stringify!($t))?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+impl_wire_le!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> DecodeResult<Self> {
+        Ok(u64::decode(buf)? as usize)
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(buf: &mut &[u8]) -> DecodeResult<Self> {
+        let b = take(buf, 1, "bool")?;
+        match b[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError {
+                what: "bool out of range",
+                remaining: buf.len(),
+            }),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_buf: &mut &[u8]) -> DecodeResult<Self> {
+        Ok(())
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> DecodeResult<Self> {
+        let len = u64::decode(buf)? as usize;
+        // Guard against absurd lengths from corrupt payloads: each element
+        // costs at least one byte except unit-like types, so cap by remaining
+        // bytes when the element has nonzero minimum size.
+        let mut out = Vec::with_capacity(len.min(buf.len().max(16)));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> DecodeResult<Self> {
+        let len = u64::decode(buf)? as usize;
+        let bytes = take(buf, len, "string body")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError {
+            what: "string not utf-8",
+            remaining: buf.len(),
+        })
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> DecodeResult<Self> {
+        let tag = take(buf, 1, "option tag")?[0];
+        match tag {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(DecodeError {
+                what: "option tag out of range",
+                remaining: buf.len(),
+            }),
+        }
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.encode(buf);)+
+            }
+            fn decode(buf: &mut &[u8]) -> DecodeResult<Self> {
+                Ok(($($name::decode(buf)?,)+))
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A);
+impl_wire_tuple!(A, B);
+impl_wire_tuple!(A, B, C);
+impl_wire_tuple!(A, B, C, D);
+impl_wire_tuple!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn roundtrip_integers() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(-1i64);
+        roundtrip(i32::MIN);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn roundtrip_floats() {
+        roundtrip(0.0f64);
+        roundtrip(-1.5f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(3.25f32);
+    }
+
+    #[test]
+    fn roundtrip_compound() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip("hello pclouds".to_string());
+        roundtrip(Some(vec![(1u32, 2.5f64), (3, 4.5)]));
+        roundtrip(Option::<u8>::None);
+        roundtrip((true, 7u64, "x".to_string()));
+    }
+
+    #[test]
+    fn nested_vectors() {
+        roundtrip(vec![vec![1u8, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = 12345u64.to_bytes();
+        assert!(u64::from_bytes(&bytes[..4]).is_err());
+        let v = vec![1u32, 2, 3].to_bytes();
+        assert!(Vec::<u32>::from_bytes(&v[..v.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = 1u32.to_bytes();
+        bytes.push(0);
+        assert!(u32::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(Option::<u8>::from_bytes(&[9, 0]).is_err());
+    }
+
+    #[test]
+    fn vec_is_self_delimiting() {
+        let mut buf = Vec::new();
+        vec![1u16, 2].encode(&mut buf);
+        42u32.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(Vec::<u16>::decode(&mut slice).unwrap(), vec![1, 2]);
+        assert_eq!(u32::decode(&mut slice).unwrap(), 42);
+        assert!(slice.is_empty());
+    }
+}

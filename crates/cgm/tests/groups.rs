@@ -1,0 +1,180 @@
+//! Tests of subgroup collectives: correctness within groups, independence
+//! between concurrently communicating disjoint groups.
+
+use pdc_cgm::{Cluster, Group};
+
+#[test]
+fn group_allreduce_only_sums_members() {
+    let cluster = Cluster::new(6);
+    let out = cluster.run(|proc| {
+        let group = if proc.rank() < 4 {
+            Group::new(vec![0, 1, 2, 3])
+        } else {
+            Group::new(vec![4, 5])
+        };
+        proc.group_allreduce(&group, proc.rank() as u64, |a, b| a + b)
+    });
+    assert_eq!(out.results, vec![6, 6, 6, 6, 9, 9]);
+}
+
+#[test]
+fn group_broadcast_from_each_local_root() {
+    for members in [vec![0usize, 2, 3], vec![1, 4], vec![0, 1, 2, 3, 4]] {
+        let group = Group::new(members.clone());
+        let cluster = Cluster::new(5);
+        for root_local in 0..group.size() {
+            let g2 = group.clone();
+            let out = cluster.run(|proc| {
+                if !g2.contains(proc.rank()) {
+                    return None;
+                }
+                let value = if g2.local(proc.rank()) == Some(root_local) {
+                    Some(format!("from-{root_local}"))
+                } else {
+                    None
+                };
+                Some(proc.group_broadcast(&g2, root_local, value))
+            });
+            for (rank, r) in out.results.iter().enumerate() {
+                if group.contains(rank) {
+                    assert_eq!(r.as_deref(), Some(format!("from-{root_local}").as_str()));
+                } else {
+                    assert!(r.is_none());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn group_min_loc_returns_global_rank() {
+    let cluster = Cluster::new(5);
+    let out = cluster.run(|proc| {
+        let group = Group::new(vec![1, 3, 4]);
+        if !group.contains(proc.rank()) {
+            return None;
+        }
+        // rank 3 holds the minimum.
+        let v = if proc.rank() == 3 { -1.0 } else { proc.rank() as f64 };
+        Some(proc.group_min_loc(&group, v))
+    });
+    for (rank, r) in out.results.iter().enumerate() {
+        if [1, 3, 4].contains(&rank) {
+            assert_eq!(*r, Some((-1.0, 3)));
+        }
+    }
+}
+
+#[test]
+fn group_all_gather_orders_by_local_rank() {
+    let cluster = Cluster::new(4);
+    let out = cluster.run(|proc| {
+        let group = Group::new(vec![0, 2, 3]);
+        if !group.contains(proc.rank()) {
+            return None;
+        }
+        Some(proc.group_all_gather(&group, proc.rank() as u32 * 10))
+    });
+    for (rank, r) in out.results.iter().enumerate() {
+        if [0, 2, 3].contains(&rank) {
+            assert_eq!(r.as_deref(), Some(&[0u32, 20, 30][..]));
+        }
+    }
+}
+
+#[test]
+fn disjoint_groups_communicate_concurrently() {
+    // Two disjoint groups run different numbers of collectives — no
+    // deadlock, no cross-talk.
+    let cluster = Cluster::new(8);
+    let out = cluster.run(|proc| {
+        let (group, rounds) = if proc.rank() < 3 {
+            (Group::new(vec![0, 1, 2]), 5)
+        } else {
+            (Group::new(vec![3, 4, 5, 6, 7]), 2)
+        };
+        let mut acc = proc.rank() as u64;
+        for _ in 0..rounds {
+            acc = proc.group_allreduce(&group, acc, |a, b| a + b);
+        }
+        proc.group_barrier(&group);
+        acc
+    });
+    // Group A: sum=3, then 9, 27, 81, 243 (x3 each round).
+    for r in 0..3 {
+        assert_eq!(out.results[r], 243);
+    }
+    // Group B: sum=25, then 125.
+    for r in 3..8 {
+        assert_eq!(out.results[r], 125);
+    }
+}
+
+#[test]
+fn singleton_group_is_identity() {
+    let cluster = Cluster::new(2);
+    let out = cluster.run(|proc| {
+        let group = Group::new(vec![proc.rank()]);
+        let a = proc.group_allreduce(&group, 7u64, |x, y| x + y);
+        let b = proc.group_broadcast(&group, 0, Some(9u64));
+        let c = proc.group_all_gather(&group, 4u64);
+        proc.group_barrier(&group);
+        (a, b, c)
+    });
+    for r in &out.results {
+        assert_eq!(*r, (7, 9, vec![4]));
+    }
+}
+
+#[test]
+fn group_all_to_all_personalized_delivery() {
+    let cluster = Cluster::new(5);
+    let out = cluster.run(|proc| {
+        let group = Group::new(vec![0, 2, 3, 4]);
+        if !group.contains(proc.rank()) {
+            return None;
+        }
+        let me = group.local(proc.rank()).unwrap();
+        let parts: Vec<u64> = (0..group.size())
+            .map(|dst| (me * 100 + dst) as u64)
+            .collect();
+        Some(proc.group_all_to_all(&group, parts))
+    });
+    for (rank, r) in out.results.iter().enumerate() {
+        if let Some(received) = r {
+            let me = [0, 2, 3, 4].iter().position(|&g| g == rank).unwrap();
+            let expected: Vec<u64> = (0..4).map(|src| (src * 100 + me) as u64).collect();
+            assert_eq!(received, &expected, "rank {rank}");
+        } else {
+            assert_eq!(rank, 1);
+        }
+    }
+}
+
+#[test]
+fn group_collectives_cost_less_than_world() {
+    // A subgroup's collectives only charge the members: the world makespan
+    // of a run where a small group communicates heavily should be lower
+    // than the same traffic over the whole machine.
+    let p = 8;
+    let traffic = |use_group: bool| {
+        let cluster = Cluster::new(p);
+        let out = cluster.run(move |proc| {
+            let payload = vec![proc.rank() as u64; 4096];
+            if use_group {
+                let group = Group::new(vec![0, 1]);
+                if group.contains(proc.rank()) {
+                    for _ in 0..8 {
+                        let _ = proc.group_all_gather(&group, payload.clone());
+                    }
+                }
+            } else {
+                for _ in 0..8 {
+                    let _ = proc.all_gather(payload.clone());
+                }
+            }
+        });
+        out.makespan()
+    };
+    assert!(traffic(true) < traffic(false));
+}

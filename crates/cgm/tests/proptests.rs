@@ -1,0 +1,96 @@
+//! Property-based tests of the wire format and the collectives.
+
+use pdc_cgm::{Cluster, Wire};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_roundtrip_u64_vec(v in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let bytes = v.to_bytes();
+        prop_assert_eq!(Vec::<u64>::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn wire_roundtrip_f64(x in any::<f64>()) {
+        // NaN compares unequal; compare bit patterns instead.
+        let back = f64::from_bytes(&x.to_bytes()).unwrap();
+        prop_assert_eq!(back.to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn wire_roundtrip_nested(
+        v in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..16)),
+            0..16,
+        )
+    ) {
+        let bytes = v.to_bytes();
+        prop_assert_eq!(Vec::<(u32, Vec<u8>)>::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn wire_roundtrip_string(s in "\\PC{0,40}") {
+        let bytes = s.to_bytes();
+        prop_assert_eq!(String::from_bytes(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn wire_rejects_truncation(v in proptest::collection::vec(any::<u32>(), 1..16)) {
+        let bytes = v.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(Vec::<u32>::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_any_values(
+        p in 1usize..6,
+        base in proptest::collection::vec(0u64..1_000_000, 6),
+    ) {
+        let cluster = Cluster::new(p);
+        let base = std::sync::Arc::new(base);
+        let expected: u64 = base.iter().take(p).sum();
+        let b2 = std::sync::Arc::clone(&base);
+        let out = cluster.run(move |proc| {
+            proc.allreduce(b2[proc.rank()], |a, b| a + b)
+        });
+        prop_assert!(out.results.iter().all(|&r| r == expected));
+    }
+
+    #[test]
+    fn scan_matches_sequential_prefix(
+        p in 1usize..6,
+        base in proptest::collection::vec(0u64..1_000_000, 6),
+    ) {
+        let cluster = Cluster::new(p);
+        let base = std::sync::Arc::new(base);
+        let b2 = std::sync::Arc::clone(&base);
+        let out = cluster.run(move |proc| proc.scan(b2[proc.rank()], |a, b| a + b));
+        let mut acc = 0u64;
+        for (rank, &got) in out.results.iter().enumerate() {
+            acc += base[rank];
+            prop_assert_eq!(got, acc);
+        }
+    }
+
+    #[test]
+    fn all_to_all_is_a_permutation_of_payloads(
+        p in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let cluster = Cluster::new(p);
+        let out = cluster.run(|proc| {
+            let parts: Vec<u64> = (0..proc.nprocs())
+                .map(|dst| seed ^ ((proc.rank() as u64) << 32) ^ dst as u64)
+                .collect();
+            proc.all_to_all(parts)
+        });
+        for (rank, received) in out.results.iter().enumerate() {
+            for (src, &v) in received.iter().enumerate() {
+                prop_assert_eq!(v, seed ^ ((src as u64) << 32) ^ rank as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The sequential in-memory CLOUDS builder.
+//!
+//! This is CLOUDS as a classical recursive divide-and-conquer: derive the
+//! splitter (SS/SSE/direct), partition records *and sample points*, recurse.
+//! pCLOUDS (crate `pdc-pclouds`) parallelizes exactly this construction for
+//! disk-resident data; this builder is the single-machine reference used by
+//! accuracy experiments, the small-node path, and tests.
+
+use pdc_datagen::{Record, NUM_CLASSES};
+
+use crate::derive::derive_split_in_memory;
+use crate::gini::ClassCounts;
+use crate::params::CloudsParams;
+use crate::sample::draw_sample;
+use crate::tree::{DecisionTree, NodeId};
+
+/// Counting statistics of one build.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildStats {
+    /// Internal nodes created (splits performed).
+    pub splits: usize,
+    /// Nodes examined (internal + leaves).
+    pub nodes: usize,
+    /// Sum over examined nodes of the records they held — the dominant work
+    /// term (each visit scans/sorts the node's records). Callers that run
+    /// the builder inside a simulated processor charge time from this.
+    pub record_visits: u64,
+}
+
+/// Class distribution of a record slice.
+pub fn class_counts(records: &[Record]) -> ClassCounts {
+    let mut counts = vec![0u64; NUM_CLASSES];
+    for r in records {
+        counts[r.class as usize] += 1;
+    }
+    counts
+}
+
+/// Build a decision tree over in-memory records with the configured method.
+pub fn build_tree(records: &[Record], params: &CloudsParams) -> DecisionTree {
+    build_tree_with_stats(records, params).0
+}
+
+/// [`build_tree`] plus counting statistics.
+pub fn build_tree_with_stats(
+    records: &[Record],
+    params: &CloudsParams,
+) -> (DecisionTree, BuildStats) {
+    let n_root = records.len() as u64;
+    let sample = draw_sample(records, params.sample_size, params.sample_seed);
+    let mut tree = DecisionTree::single_leaf(class_counts(records));
+    let mut stats = BuildStats::default();
+    // Explicit work stack: (node id, records, sample, depth). Order of
+    // processing is irrelevant to the result — the paper exploits the same
+    // freedom ("the tree can be built in an arbitrary order").
+    let mut stack: Vec<(NodeId, Vec<Record>, Vec<Record>, usize)> =
+        vec![(tree.root(), records.to_vec(), sample, 0)];
+    while let Some((id, recs, samp, depth)) = stack.pop() {
+        stats.nodes += 1;
+        stats.record_visits += recs.len() as u64;
+        let counts = class_counts(&recs);
+        if params.should_stop(&counts, depth) {
+            continue;
+        }
+        let q = params.q_for_node(recs.len() as u64, n_root);
+        let Some(cand) = derive_split_in_memory(&recs, &samp, q, params) else {
+            continue;
+        };
+        let (mut left_recs, mut right_recs) = (Vec::new(), Vec::new());
+        for r in recs {
+            if cand.splitter.goes_left(&r) {
+                left_recs.push(r);
+            } else {
+                right_recs.push(r);
+            }
+        }
+        if left_recs.is_empty() || right_recs.is_empty() {
+            continue; // degenerate split: stay a leaf
+        }
+        let (mut left_samp, mut right_samp) = (Vec::new(), Vec::new());
+        for s in samp {
+            if cand.splitter.goes_left(&s) {
+                left_samp.push(s);
+            } else {
+                right_samp.push(s);
+            }
+        }
+        let (lc, rc) = (class_counts(&left_recs), class_counts(&right_recs));
+        let (l, r) = tree.split_leaf(id, cand.splitter, lc, rc);
+        stats.splits += 1;
+        stack.push((l, left_recs, left_samp, depth + 1));
+        stack.push((r, right_recs, right_samp, depth + 1));
+    }
+    (tree, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::params::SplitMethod;
+    use pdc_datagen::{generate, train_test_split, ClassifyFn, GeneratorConfig};
+
+    fn dataset(n: usize, f: ClassifyFn) -> Vec<Record> {
+        generate(
+            n,
+            GeneratorConfig {
+                function: f,
+                ..GeneratorConfig::default()
+            },
+        )
+    }
+
+    fn small_params(method: SplitMethod) -> CloudsParams {
+        CloudsParams {
+            method,
+            q_root: 100,
+            sample_size: 2_000,
+            ..CloudsParams::default()
+        }
+    }
+
+    #[test]
+    fn learns_f1_perfectly() {
+        // F1 is a pure age test: a tiny tree should reach ~100% accuracy.
+        let records = dataset(4_000, ClassifyFn::F1);
+        let (train, test) = train_test_split(records, 0.75);
+        for method in [SplitMethod::Direct, SplitMethod::SSE, SplitMethod::SS] {
+            let tree = build_tree(&train, &small_params(method));
+            let acc = accuracy(&tree, &test);
+            assert!(acc > 0.98, "{method:?}: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn learns_f2_well_with_every_method() {
+        let records = dataset(8_000, ClassifyFn::F2);
+        let (train, test) = train_test_split(records, 0.75);
+        for method in [SplitMethod::Direct, SplitMethod::SSE, SplitMethod::SS] {
+            let tree = build_tree(&train, &small_params(method));
+            let acc = accuracy(&tree, &test);
+            assert!(acc > 0.95, "{method:?}: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let records = dataset(2_000, ClassifyFn::F2);
+        let params = CloudsParams {
+            max_depth: 2,
+            ..small_params(SplitMethod::SSE)
+        };
+        let tree = build_tree(&records, &params);
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn respects_min_node_size() {
+        let records = dataset(1_000, ClassifyFn::F2);
+        let params = CloudsParams {
+            min_node_size: 200,
+            ..small_params(SplitMethod::SSE)
+        };
+        let tree = build_tree(&records, &params);
+        for node in &tree.nodes {
+            if let crate::tree::Node::Internal { counts, .. } = node {
+                assert!(counts.iter().sum::<u64>() >= 200);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_input_yields_single_leaf() {
+        let mut records = dataset(500, ClassifyFn::F2);
+        for r in &mut records {
+            r.class = 1;
+        }
+        let tree = build_tree(&records, &small_params(SplitMethod::SSE));
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_single_leaf() {
+        let tree = build_tree(&[], &small_params(SplitMethod::Direct));
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn stats_count_nodes_and_splits() {
+        let records = dataset(2_000, ClassifyFn::F2);
+        let (tree, stats) = build_tree_with_stats(&records, &small_params(SplitMethod::SSE));
+        assert_eq!(stats.splits, tree.num_nodes() - tree.num_leaves());
+        assert!(stats.nodes >= tree.num_nodes());
+    }
+
+    #[test]
+    fn sse_and_direct_trees_have_similar_accuracy() {
+        // The CLOUDS claim the paper inherits: SSE's accuracy matches the
+        // exact method.
+        let records = dataset(6_000, ClassifyFn::F7);
+        let (train, test) = train_test_split(records, 0.75);
+        let direct = build_tree(&train, &small_params(SplitMethod::Direct));
+        let sse = build_tree(&train, &small_params(SplitMethod::SSE));
+        let (a_direct, a_sse) = (accuracy(&direct, &test), accuracy(&sse, &test));
+        assert!(
+            (a_direct - a_sse).abs() < 0.03,
+            "direct {a_direct} vs sse {a_sse}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Interval construction for numeric attributes.
+//!
+//! In the SS/SSE methods "the range of each numeric attribute is divided
+//! into q intervals such that each interval contains approximately the same
+//! number of points. These intervals are generated using a predrawn random
+//! sample set S."
+
+/// Internal boundaries of `q` intervals over one numeric attribute.
+/// `boundaries.len() == q - 1`; interval `i` covers `(b_{i-1}, b_i]` with
+/// `b_{-1} = -inf`, `b_{q-1} = +inf`. A record exactly on a boundary lies in
+/// the interval to its **left**, matching the convention that a numeric
+/// split at threshold `t` sends `value <= t` left.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSet {
+    boundaries: Vec<f64>,
+}
+
+impl pdc_cgm::Wire for IntervalSet {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.boundaries.encode(buf);
+    }
+    fn decode(bytes: &mut &[u8]) -> pdc_cgm::wire::DecodeResult<Self> {
+        Ok(IntervalSet {
+            boundaries: Vec::<f64>::decode(bytes)?,
+        })
+    }
+}
+
+impl IntervalSet {
+    /// Build an interval set directly from ascending internal boundaries.
+    pub fn from_boundaries(boundaries: Vec<f64>) -> IntervalSet {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must be strictly ascending"
+        );
+        IntervalSet { boundaries }
+    }
+
+    /// Build interval boundaries from the sample's values for one attribute
+    /// (equi-depth quantiles of the sample). Duplicates are removed, so the
+    /// result may have fewer than `q` intervals when the sample has few
+    /// distinct values.
+    pub fn from_sample(values: &[f64], q: usize) -> IntervalSet {
+        assert!(q >= 1, "need at least one interval");
+        if values.is_empty() || q == 1 {
+            return IntervalSet {
+                boundaries: Vec::new(),
+            };
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN attribute value"));
+        let n = sorted.len();
+        let mut boundaries = Vec::with_capacity(q - 1);
+        for i in 1..q {
+            // The i-th q-quantile of the sample.
+            let idx = (i * n) / q;
+            let idx = idx.min(n - 1);
+            boundaries.push(sorted[idx]);
+        }
+        boundaries.dedup();
+        // A boundary equal to the maximum value would create an empty last
+        // interval; harmless, keep it simple and drop it.
+        while boundaries.last() == sorted.last() {
+            boundaries.pop();
+        }
+        IntervalSet { boundaries }
+    }
+
+    /// Number of intervals (`boundaries + 1`).
+    pub fn num_intervals(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The internal boundary values, ascending.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Index of the interval containing `v` (boundary values belong to the
+    /// left interval).
+    pub fn interval_of(&self, v: f64) -> usize {
+        self.boundaries.partition_point(|&b| b < v)
+    }
+
+    /// The open lower edge of interval `i` (`None` for the first interval).
+    pub fn lower_edge(&self, i: usize) -> Option<f64> {
+        if i == 0 {
+            None
+        } else {
+            Some(self.boundaries[i - 1])
+        }
+    }
+
+    /// The closed upper edge of interval `i` (`None` for the last interval).
+    pub fn upper_edge(&self, i: usize) -> Option<f64> {
+        self.boundaries.get(i).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_depth_on_uniform_sample() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let set = IntervalSet::from_sample(&values, 10);
+        assert_eq!(set.num_intervals(), 10);
+        // Boundaries near 100, 200, ... 900.
+        for (i, &b) in set.boundaries().iter().enumerate() {
+            let expected = 100.0 * (i + 1) as f64;
+            assert!((b - expected).abs() <= 1.0, "boundary {i} = {b}");
+        }
+    }
+
+    #[test]
+    fn interval_of_respects_left_closed_boundaries() {
+        let set = IntervalSet {
+            boundaries: vec![10.0, 20.0],
+        };
+        assert_eq!(set.interval_of(5.0), 0);
+        assert_eq!(set.interval_of(10.0), 0, "boundary belongs left");
+        assert_eq!(set.interval_of(10.5), 1);
+        assert_eq!(set.interval_of(20.0), 1);
+        assert_eq!(set.interval_of(25.0), 2);
+    }
+
+    #[test]
+    fn duplicate_heavy_sample_collapses_intervals() {
+        let values = vec![5.0; 100];
+        let set = IntervalSet::from_sample(&values, 10);
+        assert_eq!(set.num_intervals(), 1);
+        assert_eq!(set.interval_of(5.0), 0);
+    }
+
+    #[test]
+    fn empty_sample_and_single_interval() {
+        let set = IntervalSet::from_sample(&[], 10);
+        assert_eq!(set.num_intervals(), 1);
+        let set = IntervalSet::from_sample(&[1.0, 2.0], 1);
+        assert_eq!(set.num_intervals(), 1);
+    }
+
+    #[test]
+    fn edges_are_consistent() {
+        let set = IntervalSet {
+            boundaries: vec![1.0, 2.0, 3.0],
+        };
+        assert_eq!(set.lower_edge(0), None);
+        assert_eq!(set.upper_edge(0), Some(1.0));
+        assert_eq!(set.lower_edge(2), Some(2.0));
+        assert_eq!(set.upper_edge(3), None);
+        assert_eq!(set.num_intervals(), 4);
+    }
+
+    #[test]
+    fn max_value_boundary_is_dropped() {
+        // Skewed sample where high quantiles coincide with the max.
+        let mut values = vec![1.0, 2.0, 3.0];
+        values.extend(vec![100.0; 97]);
+        let set = IntervalSet::from_sample(&values, 10);
+        for &b in set.boundaries() {
+            assert!(b < 100.0, "boundary {b} would create empty last interval");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Classifier quality metrics: accuracy and confusion matrices over a test
+//! set.
+
+use pdc_datagen::{Record, NUM_CLASSES};
+
+use crate::tree::DecisionTree;
+
+/// Fraction of `records` the tree classifies correctly (1.0 on an empty
+/// set by convention).
+pub fn accuracy(tree: &DecisionTree, records: &[Record]) -> f64 {
+    if records.is_empty() {
+        return 1.0;
+    }
+    let correct = records
+        .iter()
+        .filter(|r| tree.predict(r) == r.class)
+        .count();
+    correct as f64 / records.len() as f64
+}
+
+/// `confusion[actual][predicted]` counts.
+pub fn confusion_matrix(tree: &DecisionTree, records: &[Record]) -> Vec<Vec<u64>> {
+    let mut m = vec![vec![0u64; NUM_CLASSES]; NUM_CLASSES];
+    for r in records {
+        m[r.class as usize][tree.predict(r) as usize] += 1;
+    }
+    m
+}
+
+/// Classification error rate (`1 − accuracy`).
+pub fn error_rate(tree: &DecisionTree, records: &[Record]) -> f64 {
+    1.0 - accuracy(tree, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_datagen::{generate, GeneratorConfig};
+
+    #[test]
+    fn constant_tree_accuracy_equals_class_share() {
+        let records = generate(2_000, GeneratorConfig::default());
+        let class1 = records.iter().filter(|r| r.class == 1).count();
+        let tree = DecisionTree::single_leaf(vec![0, 1]); // predicts 1
+        let acc = accuracy(&tree, &records);
+        assert!((acc - class1 as f64 / records.len() as f64).abs() < 1e-12);
+        assert!((error_rate(&tree, &records) + acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_totals() {
+        let records = generate(500, GeneratorConfig::default());
+        let tree = DecisionTree::single_leaf(vec![1, 0]); // predicts 0
+        let m = confusion_matrix(&tree, &records);
+        let total: u64 = m.iter().flatten().sum();
+        assert_eq!(total, 500);
+        assert_eq!(m[0][1] + m[1][1], 0, "never predicts class 1");
+    }
+
+    #[test]
+    fn empty_test_set() {
+        let tree = DecisionTree::single_leaf(vec![1, 0]);
+        assert_eq!(accuracy(&tree, &[]), 1.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! MDL pruning.
+//!
+//! The paper prunes with "an algorithm based on the minimum description
+//! length (MDL) principle" and notes its cost is negligible next to
+//! construction. We implement the standard scheme: the description cost of a
+//! subtree is compared against the cost of collapsing it into a leaf
+//! (structure bits + split encoding vs. exception coding), and the cheaper
+//! encoding wins, bottom-up.
+
+use crate::gini::majority_class;
+use crate::tree::{DecisionTree, Node, NodeId};
+
+/// Cost constants of the MDL encoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdlParams {
+    /// Bits to encode one node's kind (leaf/internal).
+    pub node_bits: f64,
+    /// Bits to encode a split test (attribute choice + split value/subset).
+    pub split_bits: f64,
+    /// Bits to encode one misclassified training record at a leaf.
+    pub error_bits: f64,
+}
+
+impl Default for MdlParams {
+    fn default() -> Self {
+        MdlParams {
+            node_bits: 1.0,
+            split_bits: 16.0,
+            error_bits: 1.0,
+        }
+    }
+}
+
+/// Leaf errors: records not in the majority class.
+fn leaf_errors(counts: &[u64]) -> u64 {
+    let n: u64 = counts.iter().sum();
+    n - counts.iter().copied().max().unwrap_or(0)
+}
+
+/// Prune `tree` in place with MDL; returns the number of internal nodes
+/// collapsed into leaves.
+pub fn mdl_prune(tree: &mut DecisionTree, params: &MdlParams) -> usize {
+    let mut pruned = 0;
+    prune_node(tree, tree.root(), params, &mut pruned);
+    pruned
+}
+
+/// Post-order pruning; returns the description cost of the (possibly
+/// pruned) subtree rooted at `id`.
+fn prune_node(tree: &mut DecisionTree, id: NodeId, params: &MdlParams, pruned: &mut usize) -> f64 {
+    let (left, right) = match &tree.nodes[id] {
+        Node::Leaf { counts, .. } => {
+            return params.node_bits + leaf_errors(counts) as f64 * params.error_bits;
+        }
+        Node::Internal { left, right, .. } => (*left, *right),
+    };
+    let subtree_cost = params.node_bits
+        + params.split_bits
+        + prune_node(tree, left, params, pruned)
+        + prune_node(tree, right, params, pruned);
+    let counts = tree.nodes[id].counts().clone();
+    let leaf_cost = params.node_bits + leaf_errors(&counts) as f64 * params.error_bits;
+    if leaf_cost <= subtree_cost {
+        *pruned += count_internal(tree, id);
+        tree.nodes[id] = Node::Leaf {
+            class: majority_class(&counts),
+            counts,
+        };
+        leaf_cost
+    } else {
+        subtree_cost
+    }
+}
+
+fn count_internal(tree: &DecisionTree, id: NodeId) -> usize {
+    match &tree.nodes[id] {
+        Node::Leaf { .. } => 0,
+        Node::Internal { left, right, .. } => {
+            1 + count_internal(tree, *left) + count_internal(tree, *right)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_tree;
+    use crate::metrics::accuracy;
+    use crate::params::{CloudsParams, SplitMethod};
+    use crate::split::Splitter;
+    use pdc_datagen::{generate, train_test_split, ClassifyFn, GeneratorConfig};
+
+    fn two_level_tree(left_counts: Vec<u64>, right_counts: Vec<u64>) -> DecisionTree {
+        let total: Vec<u64> = left_counts
+            .iter()
+            .zip(&right_counts)
+            .map(|(a, b)| a + b)
+            .collect();
+        let mut t = DecisionTree::single_leaf(total);
+        t.split_leaf(
+            0,
+            Splitter::Numeric {
+                attr: 0,
+                threshold: 1.0,
+            },
+            left_counts,
+            right_counts,
+        );
+        t
+    }
+
+    #[test]
+    fn useless_split_is_pruned() {
+        // Both children have the same majority class: the split saves no
+        // errors and costs split_bits — prune it.
+        let mut t = two_level_tree(vec![10, 2], vec![20, 3]);
+        let pruned = mdl_prune(&mut t, &MdlParams::default());
+        assert_eq!(pruned, 1);
+        assert_eq!(t.num_leaves(), 1);
+    }
+
+    #[test]
+    fn informative_split_is_kept() {
+        // The split separates the classes perfectly over many records.
+        let mut t = two_level_tree(vec![100, 0], vec![0, 100]);
+        let pruned = mdl_prune(&mut t, &MdlParams::default());
+        assert_eq!(pruned, 0);
+        assert_eq!(t.num_leaves(), 2);
+    }
+
+    #[test]
+    fn single_leaf_is_untouched() {
+        let mut t = DecisionTree::single_leaf(vec![5, 5]);
+        assert_eq!(mdl_prune(&mut t, &MdlParams::default()), 0);
+        assert_eq!(t.num_nodes(), 1);
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_trees_without_hurting_accuracy() {
+        let records = generate(
+            6_000,
+            GeneratorConfig {
+                function: ClassifyFn::F2,
+                noise: 0.08,
+                ..GeneratorConfig::default()
+            },
+        );
+        let (train, test) = train_test_split(records, 0.75);
+        let params = CloudsParams {
+            method: SplitMethod::SSE,
+            q_root: 100,
+            sample_size: 2_000,
+            min_node_size: 2,
+            purity_threshold: 1.0,
+            ..CloudsParams::default()
+        };
+        let mut tree = build_tree(&train, &params);
+        let leaves_before = tree.num_leaves();
+        let acc_before = accuracy(&tree, &test);
+        let pruned = mdl_prune(&mut tree, &MdlParams::default());
+        let acc_after = accuracy(&tree, &test);
+        assert!(pruned > 0, "noise should create prunable structure");
+        assert!(tree.num_leaves() < leaves_before);
+        assert!(
+            acc_after >= acc_before - 0.02,
+            "pruning cost accuracy: {acc_before} -> {acc_after}"
+        );
+    }
+
+    #[test]
+    fn error_bit_weight_controls_aggressiveness() {
+        // Higher error cost -> keep more structure; zero error cost ->
+        // everything collapses.
+        let mut t = two_level_tree(vec![10, 4], vec![4, 10]);
+        let mut collapse_all = t.clone();
+        assert_eq!(
+            mdl_prune(
+                &mut collapse_all,
+                &MdlParams {
+                    error_bits: 0.0,
+                    ..MdlParams::default()
+                }
+            ),
+            1
+        );
+        let kept = mdl_prune(
+            &mut t,
+            &MdlParams {
+                error_bits: 10.0,
+                ..MdlParams::default()
+            },
+        );
+        assert_eq!(kept, 0);
+    }
+}

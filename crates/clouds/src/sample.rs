@@ -1,0 +1,140 @@
+//! Random sampling helpers: the "pre-drawn random sample set S" used to
+//! place interval boundaries.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+
+use pdc_datagen::Record;
+
+/// Draw `size` records uniformly without replacement (or all of them when
+/// `size >= records.len()`), deterministically for a given seed.
+pub fn draw_sample(records: &[Record], size: usize, seed: u64) -> Vec<Record> {
+    if size >= records.len() {
+        return records.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = index_sample(&mut rng, records.len(), size);
+    idx.into_iter().map(|i| records[i]).collect()
+}
+
+/// Reservoir sampling over a streaming source (used by the out-of-core
+/// builders where the data never fits in memory).
+pub struct Reservoir {
+    size: usize,
+    seen: u64,
+    rng: StdRng,
+    items: Vec<Record>,
+}
+
+impl Reservoir {
+    /// Reservoir of capacity `size`.
+    pub fn new(size: usize, seed: u64) -> Self {
+        Reservoir {
+            size,
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+            items: Vec::with_capacity(size),
+        }
+    }
+
+    /// Offer one record to the reservoir.
+    pub fn offer(&mut self, record: Record) {
+        use rand::Rng;
+        self.seen += 1;
+        if self.items.len() < self.size {
+            self.items.push(record);
+        } else {
+            let j = self.rng.random_range(0..self.seen);
+            if (j as usize) < self.size {
+                self.items[j as usize] = record;
+            }
+        }
+    }
+
+    /// Records seen so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Consume the reservoir, returning the sample.
+    pub fn into_sample(self) -> Vec<Record> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_datagen::{generate, GeneratorConfig};
+
+    #[test]
+    fn sample_is_deterministic_and_right_sized() {
+        let records = generate(1000, GeneratorConfig::default());
+        let a = draw_sample(&records, 100, 7);
+        let b = draw_sample(&records, 100, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let c = draw_sample(&records, 100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn oversized_sample_returns_everything() {
+        let records = generate(50, GeneratorConfig::default());
+        let s = draw_sample(&records, 100, 7);
+        assert_eq!(s, records);
+    }
+
+    #[test]
+    fn sample_has_no_duplicate_indices() {
+        // With all-distinct records, a without-replacement sample has no
+        // duplicates.
+        let records = generate(500, GeneratorConfig::default());
+        let s = draw_sample(&records, 200, 3);
+        let mut keys: Vec<u64> = s.iter().map(|r| r.numeric[0].to_bits()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 200);
+    }
+
+    #[test]
+    fn reservoir_keeps_capacity_and_counts() {
+        let records = generate(1000, GeneratorConfig::default());
+        let mut res = Reservoir::new(64, 5);
+        for r in &records {
+            res.offer(*r);
+        }
+        assert_eq!(res.seen(), 1000);
+        let sample = res.into_sample();
+        assert_eq!(sample.len(), 64);
+    }
+
+    #[test]
+    fn reservoir_under_capacity_keeps_all() {
+        let records = generate(10, GeneratorConfig::default());
+        let mut res = Reservoir::new(64, 5);
+        for r in &records {
+            res.offer(*r);
+        }
+        assert_eq!(res.into_sample(), records);
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Offer 0..1000 (encoded in salary); check the sampled mean is near
+        // the population mean.
+        let mut res = Reservoir::new(200, 11);
+        let mut template = generate(1, GeneratorConfig::default())[0];
+        for i in 0..1000 {
+            template.numeric[0] = i as f64;
+            res.offer(template);
+        }
+        let sample = res.into_sample();
+        let mean: f64 = sample.iter().map(|r| r.numeric[0]).sum::<f64>() / sample.len() as f64;
+        assert!(
+            (mean - 499.5).abs() < 60.0,
+            "reservoir mean {mean} far from population mean"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the CLOUDS machinery's core invariants.
+
+use pdc_clouds::gini::{gini, interval_gini_lower_bound, split_gini, sub};
+use pdc_clouds::{exact_interval_scan, AliveInterval, CountMatrix, IntervalSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Gini is always within [0, 1 - 1/c] and 0 for pure nodes.
+    #[test]
+    fn gini_bounds(counts in proptest::collection::vec(0u64..10_000, 2..5)) {
+        let g = gini(&counts);
+        prop_assert!(g >= 0.0);
+        let c = counts.iter().filter(|&&x| x > 0).count().max(1) as f64;
+        prop_assert!(g <= 1.0 - 1.0 / c + 1e-12);
+    }
+
+    /// Weighted split gini never exceeds the parent's gini (concavity).
+    #[test]
+    fn split_never_increases_gini(
+        left in proptest::collection::vec(0u64..5_000, 2),
+        right in proptest::collection::vec(0u64..5_000, 2),
+    ) {
+        let parent: Vec<u64> = left.iter().zip(&right).map(|(a, b)| a + b).collect();
+        prop_assert!(split_gini(&left, &right) <= gini(&parent) + 1e-12);
+    }
+
+    /// The SSE lower bound is sound for every integral interior split.
+    #[test]
+    fn sse_bound_is_sound(
+        cum in proptest::collection::vec(0u64..50, 2),
+        interior in proptest::collection::vec(0u64..30, 2),
+        after in proptest::collection::vec(0u64..50, 2),
+    ) {
+        let total: Vec<u64> = (0..2)
+            .map(|k| cum[k] + interior[k] + after[k])
+            .collect();
+        let bound = interval_gini_lower_bound(&cum, &interior, &total);
+        for t0 in 0..=interior[0] {
+            for t1 in 0..=interior[1] {
+                let l = vec![cum[0] + t0, cum[1] + t1];
+                let r = sub(&total, &l);
+                prop_assert!(split_gini(&l, &r) >= bound - 1e-9);
+            }
+        }
+    }
+
+    /// interval_of is consistent with the boundary ordering: the chosen
+    /// interval's edges bracket the value.
+    #[test]
+    fn interval_of_brackets_value(
+        mut boundaries in proptest::collection::vec(-1_000.0f64..1_000.0, 1..20),
+        v in -2_000.0f64..2_000.0,
+    ) {
+        boundaries.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        boundaries.dedup();
+        let set = IntervalSet::from_boundaries(boundaries);
+        let i = set.interval_of(v);
+        prop_assert!(i < set.num_intervals());
+        if let Some(lo) = set.lower_edge(i) {
+            prop_assert!(v > lo, "value {v} not above lower edge {lo}");
+        }
+        if let Some(hi) = set.upper_edge(i) {
+            prop_assert!(v <= hi, "value {v} not within upper edge {hi}");
+        }
+    }
+
+    /// Equi-depth construction: on distinct values every interval holds a
+    /// fair share of the sample.
+    #[test]
+    fn equi_depth_intervals(n in 50usize..400, q in 2usize..10) {
+        let values: Vec<f64> = (0..n).map(|i| i as f64 * 1.7).collect();
+        let set = IntervalSet::from_sample(&values, q);
+        let mut counts = vec![0usize; set.num_intervals()];
+        for &v in &values {
+            counts[set.interval_of(v)] += 1;
+        }
+        let ideal = n / q;
+        for &c in &counts {
+            prop_assert!(c <= 2 * ideal + 2, "interval holds {c}, ideal {ideal}");
+        }
+    }
+
+    /// Exact interval scan never returns a split with an empty side and its
+    /// gini is at most the node's own gini.
+    #[test]
+    fn exact_scan_returns_valid_candidates(
+        points in proptest::collection::vec((0.0f64..100.0, 0u8..2), 2..60),
+        outside in proptest::collection::vec(0u64..50, 2),
+    ) {
+        let mut total = outside.clone();
+        for &(_, c) in &points {
+            total[c as usize] += 1;
+        }
+        let alive = AliveInterval {
+            attr: 0,
+            index: 0,
+            lower: None,
+            upper: None,
+            cum_before: vec![0; 2],
+            est: 0.0,
+            count: points.len() as u64,
+        };
+        // `outside` counts sit conceptually after the interval.
+        let mut pts = points.clone();
+        if let Some(c) = exact_interval_scan(&mut pts, &alive, &total) {
+            let left_n: u64 = c.left_counts.iter().sum();
+            let total_n: u64 = total.iter().sum();
+            prop_assert!(left_n > 0 && left_n < total_n);
+            prop_assert!(c.gini <= gini(&total) + 1e-12);
+        }
+    }
+
+    /// Breiman's ordering equals exhaustive search for two classes, on any
+    /// count matrix.
+    #[test]
+    fn breiman_optimal_for_two_classes(
+        counts in proptest::collection::vec((0u64..30, 0u64..30), 2..9),
+    ) {
+        let m = CountMatrix {
+            attr: 0,
+            counts: counts.iter().map(|&(a, b)| vec![a, b]).collect(),
+        };
+        let total = m.totals();
+        // exhaustive_limit high -> exhaustive; 0 -> Breiman path.
+        let exhaustive = m.best_split(&total, 16);
+        let breiman = m.best_split(&total, 0);
+        match (exhaustive, breiman) {
+            (Some(a), Some(b)) => prop_assert!(
+                (a.gini - b.gini).abs() < 1e-12,
+                "exhaustive {} vs breiman {}", a.gini, b.gini
+            ),
+            (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+        }
+    }
+
+    /// MDL pruning never increases the training error of the majority-vote
+    /// labeling beyond the collapsed leaves' own errors, and always yields
+    /// a structurally valid tree.
+    #[test]
+    fn mdl_prune_keeps_tree_valid(seed in any::<u64>()) {
+        use pdc_clouds::{build_tree, mdl_prune, CloudsParams, MdlParams};
+        use pdc_datagen::{generate, GeneratorConfig};
+        let records = generate(400, GeneratorConfig {
+            seed,
+            noise: 0.15,
+            ..GeneratorConfig::default()
+        });
+        let params = CloudsParams {
+            q_root: 50,
+            sample_size: 200,
+            min_node_size: 2,
+            ..CloudsParams::default()
+        };
+        let mut tree = build_tree(&records, &params);
+        let nodes_before = tree.num_nodes();
+        mdl_prune(&mut tree, &MdlParams::default());
+        prop_assert!(tree.num_nodes() <= nodes_before);
+        // Tree still classifies everything (no panics, valid routing).
+        for r in &records {
+            prop_assert!(tree.predict(r) <= 1);
+        }
+    }
+}

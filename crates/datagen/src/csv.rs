@@ -1,0 +1,102 @@
+//! Plain-text import/export of records, for inspecting generated data and
+//! feeding external tools. Format: one record per line,
+//! `salary,commission,age,hvalue,hyears,loan,elevel,car,zipcode,class`.
+
+use std::io::{BufRead, Write};
+
+use crate::record::{Record, NUM_CATEGORICAL, NUM_NUMERIC};
+
+/// Header line matching [`write_csv`]'s column order.
+pub fn csv_header() -> String {
+    "salary,commission,age,hvalue,hyears,loan,elevel,car,zipcode,class".to_string()
+}
+
+/// Write records as CSV (with header) to any writer.
+pub fn write_csv<W: Write>(out: &mut W, records: &[Record]) -> std::io::Result<()> {
+    writeln!(out, "{}", csv_header())?;
+    for r in records {
+        let nums: Vec<String> = r.numeric.iter().map(|v| format!("{v:.4}")).collect();
+        let cats: Vec<String> = r.categorical.iter().map(|v| v.to_string()).collect();
+        writeln!(out, "{},{},{}", nums.join(","), cats.join(","), r.class)?;
+    }
+    Ok(())
+}
+
+/// Parse records from CSV produced by [`write_csv`] (header required).
+pub fn read_csv<R: BufRead>(input: R) -> Result<Vec<Record>, String> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or("empty input")?
+        .map_err(|e| e.to_string())?;
+    if header.trim() != csv_header() {
+        return Err(format!("unexpected header: {header:?}"));
+    }
+    let mut records = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != NUM_NUMERIC + NUM_CATEGORICAL + 1 {
+            return Err(format!("line {}: expected 10 fields", lineno + 2));
+        }
+        let mut numeric = [0.0; NUM_NUMERIC];
+        for (i, v) in numeric.iter_mut().enumerate() {
+            *v = fields[i]
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 2))?;
+        }
+        let mut categorical = [0u8; NUM_CATEGORICAL];
+        for (i, v) in categorical.iter_mut().enumerate() {
+            *v = fields[NUM_NUMERIC + i]
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 2))?;
+        }
+        let class: u8 = fields[NUM_NUMERIC + NUM_CATEGORICAL]
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 2))?;
+        records.push(Record {
+            numeric,
+            categorical,
+            class,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn csv_roundtrip() {
+        let records = generate(50, GeneratorConfig::default());
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), records.len());
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a.categorical, b.categorical);
+            assert_eq!(a.class, b.class);
+            for (x, y) in a.numeric.iter().zip(&b.numeric) {
+                assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header_and_short_lines() {
+        assert!(read_csv("nope\n1,2,3".as_bytes()).is_err());
+        let input = format!("{}\n1,2,3\n", csv_header());
+        assert!(read_csv(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let input = format!("{}\n\n", csv_header());
+        assert!(read_csv(input.as_bytes()).unwrap().is_empty());
+    }
+}

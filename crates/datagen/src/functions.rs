@@ -1,0 +1,233 @@
+//! The ten classification functions of Agrawal et al. (the generator the
+//! SLIQ, SPRINT and CLOUDS papers all use). Each maps a record's attributes
+//! to group A (class 0) or group B (class 1). The paper's experiments use
+//! **function 2**.
+
+use crate::record::{categorical, numeric, Record};
+
+/// Which classification function labels the generated data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifyFn {
+    /// Age only: A iff `age < 40 or age >= 60`.
+    F1,
+    /// Age × salary bands (used by the paper).
+    F2,
+    /// Age × education level.
+    F3,
+    /// Age × education × salary.
+    F4,
+    /// Age × salary × loan.
+    F5,
+    /// Age × (salary + commission) bands.
+    F6,
+    /// Linear disposable income with loan.
+    F7,
+    /// Disposable income with education.
+    F8,
+    /// Disposable income with education and loan.
+    F9,
+    /// Disposable income with home equity.
+    F10,
+}
+
+/// All ten functions, for sweeps.
+pub const ALL_FUNCTIONS: [ClassifyFn; 10] = [
+    ClassifyFn::F1,
+    ClassifyFn::F2,
+    ClassifyFn::F3,
+    ClassifyFn::F4,
+    ClassifyFn::F5,
+    ClassifyFn::F6,
+    ClassifyFn::F7,
+    ClassifyFn::F8,
+    ClassifyFn::F9,
+    ClassifyFn::F10,
+];
+
+impl ClassifyFn {
+    /// 1-based index of the function (`F2.index() == 2`).
+    pub fn index(self) -> usize {
+        ALL_FUNCTIONS.iter().position(|&f| f == self).unwrap() + 1
+    }
+
+    /// Parse `1..=10` into a function.
+    pub fn from_index(i: usize) -> Option<ClassifyFn> {
+        ALL_FUNCTIONS.get(i.checked_sub(1)?).copied()
+    }
+
+    /// Does this record belong to group A?
+    pub fn is_group_a(self, r: &Record) -> bool {
+        let salary = r.num(numeric::SALARY);
+        let commission = r.num(numeric::COMMISSION);
+        let age = r.num(numeric::AGE);
+        let hvalue = r.num(numeric::HVALUE);
+        let hyears = r.num(numeric::HYEARS);
+        let loan = r.num(numeric::LOAN);
+        let elevel = r.cat(categorical::ELEVEL) as f64;
+        match self {
+            ClassifyFn::F1 => !(40.0..60.0).contains(&age),
+            ClassifyFn::F2 => {
+                if age < 40.0 {
+                    (50_000.0..=100_000.0).contains(&salary)
+                } else if age < 60.0 {
+                    (75_000.0..=125_000.0).contains(&salary)
+                } else {
+                    (25_000.0..=75_000.0).contains(&salary)
+                }
+            }
+            ClassifyFn::F3 => {
+                if age < 40.0 {
+                    (0.0..=1.0).contains(&elevel)
+                } else if age < 60.0 {
+                    (1.0..=3.0).contains(&elevel)
+                } else {
+                    (2.0..=4.0).contains(&elevel)
+                }
+            }
+            ClassifyFn::F4 => {
+                if age < 40.0 {
+                    if (0.0..=1.0).contains(&elevel) {
+                        (25_000.0..=75_000.0).contains(&salary)
+                    } else {
+                        (50_000.0..=100_000.0).contains(&salary)
+                    }
+                } else if age < 60.0 {
+                    if (1.0..=3.0).contains(&elevel) {
+                        (50_000.0..=100_000.0).contains(&salary)
+                    } else {
+                        (75_000.0..=125_000.0).contains(&salary)
+                    }
+                } else if (2.0..=4.0).contains(&elevel) {
+                    (50_000.0..=100_000.0).contains(&salary)
+                } else {
+                    (25_000.0..=75_000.0).contains(&salary)
+                }
+            }
+            ClassifyFn::F5 => {
+                if age < 40.0 {
+                    if (50_000.0..=100_000.0).contains(&salary) {
+                        (100_000.0..=300_000.0).contains(&loan)
+                    } else {
+                        (200_000.0..=400_000.0).contains(&loan)
+                    }
+                } else if age < 60.0 {
+                    if (75_000.0..=125_000.0).contains(&salary) {
+                        (200_000.0..=400_000.0).contains(&loan)
+                    } else {
+                        (300_000.0..=500_000.0).contains(&loan)
+                    }
+                } else if (25_000.0..=75_000.0).contains(&salary) {
+                    (300_000.0..=500_000.0).contains(&loan)
+                } else {
+                    (100_000.0..=300_000.0).contains(&loan)
+                }
+            }
+            ClassifyFn::F6 => {
+                let total = salary + commission;
+                if age < 40.0 {
+                    (50_000.0..=100_000.0).contains(&total)
+                } else if age < 60.0 {
+                    (75_000.0..=125_000.0).contains(&total)
+                } else {
+                    (25_000.0..=75_000.0).contains(&total)
+                }
+            }
+            ClassifyFn::F7 => 0.67 * (salary + commission) - 0.2 * loan - 20_000.0 > 0.0,
+            ClassifyFn::F8 => 0.67 * (salary + commission) - 5_000.0 * elevel - 20_000.0 > 0.0,
+            ClassifyFn::F9 => {
+                0.67 * (salary + commission) - 5_000.0 * elevel - 0.2 * loan - 10_000.0 > 0.0
+            }
+            ClassifyFn::F10 => {
+                let equity = if hyears >= 20.0 {
+                    0.1 * hvalue * (hyears - 20.0)
+                } else {
+                    0.0
+                };
+                0.67 * (salary + commission) - 5_000.0 * elevel + 0.2 * equity - 10_000.0 > 0.0
+            }
+        }
+    }
+
+    /// Class label for a record (0 = group A, 1 = group B).
+    pub fn label(self, r: &Record) -> u8 {
+        u8::from(!self.is_group_a(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(salary: f64, commission: f64, age: f64, elevel: u8, loan: f64) -> Record {
+        let mut r = Record {
+            numeric: [0.0; 6],
+            categorical: [0; 3],
+            class: 0,
+        };
+        r.numeric[numeric::SALARY] = salary;
+        r.numeric[numeric::COMMISSION] = commission;
+        r.numeric[numeric::AGE] = age;
+        r.numeric[numeric::LOAN] = loan;
+        r.categorical[categorical::ELEVEL] = elevel;
+        r
+    }
+
+    #[test]
+    fn f1_is_age_bands() {
+        assert!(ClassifyFn::F1.is_group_a(&record(0.0, 0.0, 25.0, 0, 0.0)));
+        assert!(!ClassifyFn::F1.is_group_a(&record(0.0, 0.0, 45.0, 0, 0.0)));
+        assert!(ClassifyFn::F1.is_group_a(&record(0.0, 0.0, 65.0, 0, 0.0)));
+        assert!(ClassifyFn::F1.is_group_a(&record(0.0, 0.0, 60.0, 0, 0.0)));
+        assert!(!ClassifyFn::F1.is_group_a(&record(0.0, 0.0, 40.0, 0, 0.0)));
+    }
+
+    #[test]
+    fn f2_age_salary_bands() {
+        // age < 40: A iff 50k <= salary <= 100k
+        assert!(ClassifyFn::F2.is_group_a(&record(60_000.0, 0.0, 30.0, 0, 0.0)));
+        assert!(!ClassifyFn::F2.is_group_a(&record(120_000.0, 0.0, 30.0, 0, 0.0)));
+        // 40 <= age < 60: A iff 75k <= salary <= 125k
+        assert!(ClassifyFn::F2.is_group_a(&record(100_000.0, 0.0, 50.0, 0, 0.0)));
+        assert!(!ClassifyFn::F2.is_group_a(&record(60_000.0, 0.0, 50.0, 0, 0.0)));
+        // age >= 60: A iff 25k <= salary <= 75k
+        assert!(ClassifyFn::F2.is_group_a(&record(30_000.0, 0.0, 70.0, 0, 0.0)));
+        assert!(!ClassifyFn::F2.is_group_a(&record(100_000.0, 0.0, 70.0, 0, 0.0)));
+    }
+
+    #[test]
+    fn f7_is_linear_threshold() {
+        // 0.67*(s+c) - 0.2*loan - 20000 > 0
+        assert!(ClassifyFn::F7.is_group_a(&record(100_000.0, 0.0, 0.0, 0, 0.0)));
+        assert!(!ClassifyFn::F7.is_group_a(&record(20_000.0, 0.0, 0.0, 0, 0.0)));
+        assert!(!ClassifyFn::F7.is_group_a(&record(100_000.0, 0.0, 0.0, 0, 400_000.0)));
+    }
+
+    #[test]
+    fn f10_home_equity() {
+        let mut r = record(10_000.0, 0.0, 0.0, 0, 0.0);
+        r.numeric[numeric::HVALUE] = 500_000.0;
+        r.numeric[numeric::HYEARS] = 30.0;
+        // equity = 0.1 * 500000 * 10 = 500000; 0.67*10000 + 100000 - 10000 > 0
+        assert!(ClassifyFn::F10.is_group_a(&r));
+        r.numeric[numeric::HYEARS] = 10.0; // below 20 years: no equity
+        assert!(!ClassifyFn::F10.is_group_a(&r));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, f) in ALL_FUNCTIONS.iter().enumerate() {
+            assert_eq!(f.index(), i + 1);
+            assert_eq!(ClassifyFn::from_index(i + 1), Some(*f));
+        }
+        assert_eq!(ClassifyFn::from_index(0), None);
+        assert_eq!(ClassifyFn::from_index(11), None);
+    }
+
+    #[test]
+    fn label_is_complement_of_group_a() {
+        let r = record(60_000.0, 0.0, 30.0, 0, 0.0);
+        assert_eq!(ClassifyFn::F2.label(&r), 0);
+        let r = record(120_000.0, 0.0, 30.0, 0, 0.0);
+        assert_eq!(ClassifyFn::F2.label(&r), 1);
+    }
+}

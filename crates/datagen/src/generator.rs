@@ -1,0 +1,225 @@
+//! Seeded generation of the synthetic benchmark data.
+//!
+//! Attribute distributions follow Agrawal et al.: salary, commission, age,
+//! hvalue (zipcode-dependent), hyears and loan are uniform; elevel, car and
+//! zipcode are uniform categoricals. An optional noise fraction flips class
+//! labels, as in the original generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::functions::ClassifyFn;
+use crate::record::{numeric, Record};
+
+/// Configuration of one synthetic data set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Which classification function labels the records (paper: F2).
+    pub function: ClassifyFn,
+    /// Fraction of records whose label is flipped, in `[0, 1)`.
+    pub noise: f64,
+    /// RNG seed; the same seed reproduces the same stream.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            function: ClassifyFn::F2,
+            noise: 0.0,
+            seed: 0x5eed_c10d,
+        }
+    }
+}
+
+/// Infinite, seeded stream of records. Use `.take(n)` or [`generate`];
+/// streaming matters for building multi-million-record disk files without
+/// holding them in memory.
+pub struct RecordStream {
+    rng: StdRng,
+    config: GeneratorConfig,
+}
+
+impl RecordStream {
+    /// New stream from a configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        RecordStream {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    fn next_record(&mut self) -> Record {
+        let rng = &mut self.rng;
+        let salary = rng.random_range(20_000.0..150_000.0);
+        let commission = if salary >= 75_000.0 {
+            0.0
+        } else {
+            rng.random_range(10_000.0..75_000.0)
+        };
+        let age = rng.random_range(20.0..80.0);
+        let elevel: u8 = rng.random_range(0..5);
+        let car: u8 = rng.random_range(0..20);
+        let zipcode: u8 = rng.random_range(0..9);
+        let k = (zipcode + 1) as f64;
+        let hvalue = rng.random_range(0.5 * k * 100_000.0..1.5 * k * 100_000.0);
+        let hyears = rng.random_range(1.0..30.0);
+        let loan = rng.random_range(0.0..500_000.0);
+
+        let mut numeric_vals = [0.0; 6];
+        numeric_vals[numeric::SALARY] = salary;
+        numeric_vals[numeric::COMMISSION] = commission;
+        numeric_vals[numeric::AGE] = age;
+        numeric_vals[numeric::HVALUE] = hvalue;
+        numeric_vals[numeric::HYEARS] = hyears;
+        numeric_vals[numeric::LOAN] = loan;
+
+        let mut record = Record {
+            numeric: numeric_vals,
+            categorical: [elevel, car, zipcode],
+            class: 0,
+        };
+        record.class = self.config.function.label(&record);
+        if self.config.noise > 0.0 && rng.random_bool(self.config.noise) {
+            record.class = 1 - record.class;
+        }
+        record
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        Some(self.next_record())
+    }
+}
+
+/// Generate `n` records eagerly.
+pub fn generate(n: usize, config: GeneratorConfig) -> Vec<Record> {
+    RecordStream::new(config).take(n).collect()
+}
+
+/// Per-class record counts of a slice.
+pub fn class_histogram(records: &[Record]) -> [usize; 2] {
+    let mut h = [0usize; 2];
+    for r in records {
+        h[r.class as usize] += 1;
+    }
+    h
+}
+
+/// Split records into (train, test) with the first `train_fraction` going to
+/// the training set (the stream is i.i.d., so a prefix split is a random
+/// split).
+pub fn train_test_split(records: Vec<Record>, train_fraction: f64) -> (Vec<Record>, Vec<Record>) {
+    assert!((0.0..=1.0).contains(&train_fraction));
+    let cut = (records.len() as f64 * train_fraction).round() as usize;
+    let mut records = records;
+    let test = records.split_off(cut.min(records.len()));
+    (records, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{categorical, CATEGORICAL_CARDINALITY};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = GeneratorConfig::default();
+        let a = generate(100, cfg);
+        let b = generate(100, cfg);
+        assert_eq!(a, b);
+        let c = generate(
+            100,
+            GeneratorConfig {
+                seed: 99,
+                ..cfg
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn attribute_ranges_hold() {
+        let records = generate(5_000, GeneratorConfig::default());
+        for r in &records {
+            let salary = r.num(numeric::SALARY);
+            assert!((20_000.0..150_000.0).contains(&salary));
+            let commission = r.num(numeric::COMMISSION);
+            if salary >= 75_000.0 {
+                assert_eq!(commission, 0.0);
+            } else {
+                assert!((10_000.0..75_000.0).contains(&commission));
+            }
+            assert!((20.0..80.0).contains(&r.num(numeric::AGE)));
+            assert!((1.0..30.0).contains(&r.num(numeric::HYEARS)));
+            assert!((0.0..500_000.0).contains(&r.num(numeric::LOAN)));
+            for (i, &card) in CATEGORICAL_CARDINALITY.iter().enumerate() {
+                assert!((r.cat(i) as usize) < card, "categorical {i} out of range");
+            }
+            let k = (r.cat(categorical::ZIPCODE) + 1) as f64;
+            let hv = r.num(numeric::HVALUE);
+            assert!((0.5 * k * 100_000.0..1.5 * k * 100_000.0).contains(&hv));
+            assert!(r.class <= 1);
+        }
+    }
+
+    #[test]
+    fn labels_match_function_without_noise() {
+        let cfg = GeneratorConfig {
+            function: ClassifyFn::F7,
+            ..GeneratorConfig::default()
+        };
+        for r in generate(2_000, cfg) {
+            assert_eq!(r.class, ClassifyFn::F7.label(&r));
+        }
+    }
+
+    #[test]
+    fn noise_flips_roughly_the_requested_fraction() {
+        let cfg = GeneratorConfig {
+            noise: 0.2,
+            ..GeneratorConfig::default()
+        };
+        let records = generate(20_000, cfg);
+        let flipped = records
+            .iter()
+            .filter(|r| r.class != cfg.function.label(r))
+            .count();
+        let fraction = flipped as f64 / records.len() as f64;
+        assert!(
+            (fraction - 0.2).abs() < 0.02,
+            "noise fraction {fraction} too far from 0.2"
+        );
+    }
+
+    #[test]
+    fn both_classes_are_populated_for_f2() {
+        let h = class_histogram(&generate(10_000, GeneratorConfig::default()));
+        assert!(h[0] > 1_000, "class 0 rare: {h:?}");
+        assert!(h[1] > 1_000, "class 1 rare: {h:?}");
+    }
+
+    #[test]
+    fn split_preserves_count_and_order() {
+        let records = generate(100, GeneratorConfig::default());
+        let (train, test) = train_test_split(records.clone(), 0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert_eq!(&records[..80], &train[..]);
+        assert_eq!(&records[80..], &test[..]);
+    }
+
+    #[test]
+    fn split_edge_fractions() {
+        let records = generate(10, GeneratorConfig::default());
+        let (train, test) = train_test_split(records.clone(), 0.0);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 10);
+        let (train, test) = train_test_split(records, 1.0);
+        assert_eq!(train.len(), 10);
+        assert!(test.is_empty());
+    }
+}

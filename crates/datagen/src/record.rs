@@ -1,0 +1,127 @@
+//! The benchmark record: 6 numeric + 3 categorical attributes + class label,
+//! exactly the schema the paper generates with "the data generator proposed
+//! in [SLIQ]" (Agrawal et al.'s synthetic household/credit data).
+
+use pdc_cgm::wire::{DecodeResult, Wire};
+use pdc_pario::Rec;
+
+/// Number of numeric attributes.
+pub const NUM_NUMERIC: usize = 6;
+/// Number of categorical attributes.
+pub const NUM_CATEGORICAL: usize = 3;
+
+/// Indices of the numeric attributes.
+pub mod numeric {
+    /// Yearly salary, 20,000..150,000.
+    pub const SALARY: usize = 0;
+    /// Commission: 0 if salary ≥ 75,000, else 10,000..75,000.
+    pub const COMMISSION: usize = 1;
+    /// Age in years, 20..80.
+    pub const AGE: usize = 2;
+    /// House value, depends on zipcode.
+    pub const HVALUE: usize = 3;
+    /// Years the house has been owned, 1..30.
+    pub const HYEARS: usize = 4;
+    /// Total loan amount, 0..500,000.
+    pub const LOAN: usize = 5;
+}
+
+/// Indices of the categorical attributes.
+pub mod categorical {
+    /// Education level, 0..=4.
+    pub const ELEVEL: usize = 0;
+    /// Make of car, 0..=19 (the paper's 1..=20 shifted to zero-based).
+    pub const CAR: usize = 1;
+    /// Zipcode of the town, 0..=8.
+    pub const ZIPCODE: usize = 2;
+}
+
+/// Cardinality (number of distinct values) of each categorical attribute.
+pub const CATEGORICAL_CARDINALITY: [usize; NUM_CATEGORICAL] = [5, 20, 9];
+
+/// Human-readable attribute names, numeric then categorical.
+pub const NUMERIC_NAMES: [&str; NUM_NUMERIC] =
+    ["salary", "commission", "age", "hvalue", "hyears", "loan"];
+/// Names of the categorical attributes.
+pub const CATEGORICAL_NAMES: [&str; NUM_CATEGORICAL] = ["elevel", "car", "zipcode"];
+
+/// Number of classes produced by every classification function.
+pub const NUM_CLASSES: usize = 2;
+
+/// One training/test example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Numeric attribute values, indexed by [`numeric`] constants.
+    pub numeric: [f64; NUM_NUMERIC],
+    /// Categorical attribute values, indexed by [`categorical`] constants.
+    pub categorical: [u8; NUM_CATEGORICAL],
+    /// Class label, `0` = group A, `1` = group B.
+    pub class: u8,
+}
+
+impl Record {
+    /// Value of numeric attribute `idx`.
+    pub fn num(&self, idx: usize) -> f64 {
+        self.numeric[idx]
+    }
+
+    /// Value of categorical attribute `idx`.
+    pub fn cat(&self, idx: usize) -> u8 {
+        self.categorical[idx]
+    }
+}
+
+impl Wire for Record {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for v in &self.numeric {
+            v.encode(buf);
+        }
+        buf.extend_from_slice(&self.categorical);
+        buf.push(self.class);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> DecodeResult<Self> {
+        let mut numeric = [0.0; NUM_NUMERIC];
+        for v in &mut numeric {
+            *v = f64::decode(bytes)?;
+        }
+        let mut categorical = [0u8; NUM_CATEGORICAL];
+        for v in &mut categorical {
+            *v = u8::decode(bytes)?;
+        }
+        let class = u8::decode(bytes)?;
+        Ok(Record {
+            numeric,
+            categorical,
+            class,
+        })
+    }
+}
+
+impl Rec for Record {
+    const ENCODED_BYTES: usize = NUM_NUMERIC * 8 + NUM_CATEGORICAL + 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip_and_size() {
+        let r = Record {
+            numeric: [1.5, 0.0, 42.0, 123456.0, 7.0, 99999.0],
+            categorical: [3, 17, 8],
+            class: 1,
+        };
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), Record::ENCODED_BYTES);
+        assert_eq!(Record::ENCODED_BYTES, 52);
+        assert_eq!(Record::from_bytes(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn cardinalities_match_schema() {
+        assert_eq!(CATEGORICAL_CARDINALITY.len(), NUM_CATEGORICAL);
+        assert_eq!(NUMERIC_NAMES.len(), NUM_NUMERIC);
+    }
+}

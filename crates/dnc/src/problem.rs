@@ -1,0 +1,171 @@
+//! The problem interface of the generic out-of-core divide-and-conquer
+//! framework.
+//!
+//! "Execution of a problem instance is represented by a divide-and-conquer
+//! tree. The root node contains the entire data set. Each internal node
+//! represents a task [which] is split into two subtasks." Problems plug into
+//! the framework by describing how to process one task with all processors
+//! (data parallelism), how to move a small task's data to one processor
+//! (compute-dependent parallel I/O), and how to solve it there.
+
+use pdc_cgm::Proc;
+
+/// One task of the divide-and-conquer tree.
+///
+/// Task ids use heap numbering: the root is `1`, the children of `id` are
+/// `2·id` and `2·id + 1`. Ids are assigned by the framework and give
+/// problems a deterministic namespace (e.g. for per-task files).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task<M> {
+    /// Heap-numbered task id (root = 1).
+    pub id: u64,
+    /// Depth in the divide-and-conquer tree (root = 0).
+    pub depth: usize,
+    /// Problem-specific task description.
+    pub meta: M,
+}
+
+impl<M> Task<M> {
+    /// The root task.
+    pub fn root(meta: M) -> Task<M> {
+        Task {
+            id: 1,
+            depth: 0,
+            meta,
+        }
+    }
+
+    /// Children of this task with the given metas.
+    pub fn children(&self, left: M, right: M) -> (Task<M>, Task<M>) {
+        (
+            Task {
+                id: 2 * self.id,
+                depth: self.depth + 1,
+                meta: left,
+            },
+            Task {
+                id: 2 * self.id + 1,
+                depth: self.depth + 1,
+                meta: right,
+            },
+        )
+    }
+}
+
+/// Result of processing one task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome<M> {
+    /// The task is fully solved; no subtasks.
+    Solved,
+    /// The task split into two subtasks with these metas.
+    Split(M, M),
+}
+
+/// A divide-and-conquer problem over disk-resident data.
+///
+/// All methods marked *collective* are called by every processor in the
+/// same order (SPMD); `solve_small_local` runs on the owning processor only
+/// and must not communicate.
+pub trait OocProblem: Sync {
+    /// Task description: everything needed to decide cost/size and locate
+    /// the task's data. Must be identical on all processors.
+    type Meta: Clone + Send;
+
+    /// Estimated processing cost of a task (drives LPT assignment of small
+    /// tasks; the paper assigns small nodes "based on the task costs").
+    fn cost(&self, meta: &Self::Meta) -> f64;
+
+    /// Is this task small enough for single-processor in-core processing?
+    fn is_small(&self, meta: &Self::Meta) -> bool;
+
+    /// *Collective.* Process one task with all processors (data
+    /// parallelism): derive the division, partition the task's local data,
+    /// and report the split (or that the task is solved).
+    fn process_large(&self, proc: &mut Proc, task: &Task<Self::Meta>) -> Outcome<Self::Meta>;
+
+    /// *Collective.* Move each task's distributed data to its assigned
+    /// owner (compute-dependent parallel I/O). The default handles tasks
+    /// one at a time; problems can override to batch the transfers and save
+    /// message startups.
+    fn redistribute_small(&self, proc: &mut Proc, assignments: &[(Task<Self::Meta>, usize)]) {
+        for (task, owner) in assignments {
+            self.redistribute_one(proc, task, *owner);
+        }
+    }
+
+    /// *Collective.* Move one task's data to `owner`.
+    fn redistribute_one(&self, proc: &mut Proc, task: &Task<Self::Meta>, owner: usize);
+
+    /// *Local.* Solve a small task entirely on this processor. The task's
+    /// data is already resident on this processor's disk.
+    fn solve_small_local(&self, proc: &mut Proc, task: &Task<Self::Meta>);
+
+    /// *Collective.* Process a whole level of tasks together (concatenated
+    /// parallelism). The default processes them one after another; problems
+    /// can override to spool the level's communication together.
+    fn process_level(
+        &self,
+        proc: &mut Proc,
+        tasks: &[Task<Self::Meta>],
+    ) -> Vec<Outcome<Self::Meta>> {
+        tasks
+            .iter()
+            .map(|t| self.process_large(proc, t))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Task parallelism with processor subgroups (optional).
+    // ------------------------------------------------------------------
+
+    /// *Group collective.* Process one task using only `group`'s
+    /// processors. Required for [`crate::Strategy::TaskParallel`].
+    fn process_group(
+        &self,
+        _proc: &mut Proc,
+        _group: &pdc_cgm::Group,
+        _task: &Task<Self::Meta>,
+    ) -> Outcome<Self::Meta> {
+        unimplemented!("this problem does not implement group task parallelism")
+    }
+
+    /// *Group collective over the parent group.* After a split, move each
+    /// side's data into its subgroup (compute-dependent parallel I/O at
+    /// every internal node — the expensive part of pure task parallelism).
+    #[allow(clippy::too_many_arguments)]
+    fn redistribute_split(
+        &self,
+        _proc: &mut Proc,
+        _parent: &pdc_cgm::Group,
+        _left: &Task<Self::Meta>,
+        _left_group: &pdc_cgm::Group,
+        _right: &Task<Self::Meta>,
+        _right_group: &pdc_cgm::Group,
+    ) {
+        unimplemented!("this problem does not implement group task parallelism")
+    }
+
+    /// *Local.* Solve an entire subtask on this processor (a task-parallel
+    /// group of size one). The subtask's data is resident on this
+    /// processor's disk under its distributed-file name.
+    fn solve_subtree_local(&self, _proc: &mut Proc, _task: &Task<Self::Meta>) {
+        unimplemented!("this problem does not implement group task parallelism")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_numbering() {
+        let root = Task::root(());
+        assert_eq!(root.id, 1);
+        assert_eq!(root.depth, 0);
+        let (l, r) = root.children((), ());
+        assert_eq!((l.id, r.id), (2, 3));
+        assert_eq!((l.depth, r.depth), (1, 1));
+        let (ll, lr) = l.children((), ());
+        assert_eq!((ll.id, lr.id), (4, 5));
+    }
+}

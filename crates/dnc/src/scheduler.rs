@@ -1,0 +1,105 @@
+//! Task-to-processor assignment for the (delayed) task-parallel phase.
+
+/// Longest-processing-time-first assignment of tasks to `p` processors:
+/// tasks are taken in decreasing cost order and each goes to the currently
+/// least-loaded processor. Deterministic (ties broken by task index, then
+/// by processor rank). Returns the owner of each task, indexed like
+/// `costs`.
+pub fn lpt_assign(costs: &[f64], p: usize) -> Vec<usize> {
+    assert!(p >= 1);
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .expect("NaN task cost")
+            .then(a.cmp(&b))
+    });
+    let mut load = vec![0.0f64; p];
+    let mut owner = vec![0usize; costs.len()];
+    for idx in order {
+        let target = (0..p)
+            .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap().then(a.cmp(&b)))
+            .unwrap();
+        owner[idx] = target;
+        load[target] += costs[idx];
+    }
+    owner
+}
+
+/// Maximum over minimum processor load for an assignment (1.0 = perfectly
+/// balanced). Useful for diagnostics and tests.
+pub fn assignment_imbalance(costs: &[f64], owners: &[usize], p: usize) -> f64 {
+    let mut load = vec![0.0f64; p];
+    for (c, &o) in costs.iter().zip(owners) {
+        load[o] += c;
+    }
+    let max = load.iter().cloned().fold(0.0f64, f64::max);
+    let mean = load.iter().sum::<f64>() / p as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_processor_takes_everything() {
+        let owners = lpt_assign(&[3.0, 1.0, 2.0], 1);
+        assert_eq!(owners, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn equal_costs_spread_evenly() {
+        let costs = vec![1.0; 8];
+        let owners = lpt_assign(&costs, 4);
+        let mut count = [0usize; 4];
+        for &o in &owners {
+            count[o] += 1;
+        }
+        assert_eq!(count, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn big_task_gets_its_own_processor() {
+        // One task of cost 10 and six of cost 2 on 2 procs: LPT puts the
+        // big one alone-ish.
+        let costs = vec![10.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0];
+        let owners = lpt_assign(&costs, 2);
+        let big_owner = owners[0];
+        let big_load: f64 = costs
+            .iter()
+            .zip(&owners)
+            .filter(|&(_, &o)| o == big_owner)
+            .map(|(c, _)| c)
+            .sum();
+        assert!((big_load - 12.0).abs() < 1e-9, "load {big_load}");
+        assert!(assignment_imbalance(&costs, &owners, 2) < 1.1);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let costs = vec![1.0, 1.0, 1.0, 1.0];
+        assert_eq!(lpt_assign(&costs, 2), lpt_assign(&costs, 2));
+    }
+
+    #[test]
+    fn empty_task_list() {
+        assert!(lpt_assign(&[], 4).is_empty());
+        assert_eq!(assignment_imbalance(&[], &[], 4), 1.0);
+    }
+
+    #[test]
+    fn lpt_is_near_optimal_on_random_costs() {
+        // LPT guarantees max load <= (4/3 - 1/3p) * OPT; against the trivial
+        // lower bound mean load this means imbalance modest for many tasks.
+        let costs: Vec<f64> = (0..100)
+            .map(|i| 1.0 + ((i * 2654435761u64 as usize) % 97) as f64 / 10.0)
+            .collect();
+        let owners = lpt_assign(&costs, 8);
+        assert!(assignment_imbalance(&costs, &owners, 8) < 1.15);
+    }
+}

@@ -1,0 +1,228 @@
+//! The parallelization strategies of Section 3 of the paper, as drivers
+//! over an [`OocProblem`].
+//!
+//! * **Data parallelism** — every task, large or small, is processed by all
+//!   processors, one task after another. No data movement, balanced I/O,
+//!   but message startups dominate once tasks get small.
+//! * **Mixed (delayed task parallelism)** — the paper's choice: data
+//!   parallelism for large tasks; small tasks are queued, LPT-assigned,
+//!   their data redistributed *after all large tasks finish* (batching the
+//!   message startups), then solved locally.
+//! * **Mixed (immediate)** — like mixed, but each small task is
+//!   redistributed and solved the moment it is discovered; used to measure
+//!   what the delaying buys.
+//! * **Concatenated parallelism** — all tasks of one tree level are
+//!   processed together so their communication can be spooled; the
+//!   available memory is shared by the whole level (which is why the paper
+//!   argues *against* it for out-of-core work).
+
+use std::collections::VecDeque;
+
+use pdc_cgm::Proc;
+
+use crate::problem::{Outcome, OocProblem, Task};
+use crate::scheduler::lpt_assign;
+
+/// Which driver to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Pure data parallelism (all tasks via all processors).
+    DataParallel,
+    /// Data parallelism for large tasks + delayed task parallelism for
+    /// small tasks (the paper's pCLOUDS strategy).
+    Mixed,
+    /// Mixed, but small tasks are shipped and solved immediately.
+    MixedImmediate,
+    /// Concatenated parallelism: level-by-level batches.
+    Concatenated,
+    /// Pure task parallelism with compute-dependent parallel I/O: at every
+    /// split the processor group divides proportionally to the subtask
+    /// costs and each side's data is redistributed into its subgroup; a
+    /// group of one solves its whole subtask locally. Requires the
+    /// problem's group hooks.
+    TaskParallel,
+}
+
+/// Counts of what a run did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DncReport {
+    /// Tasks processed with data parallelism.
+    pub large_tasks: usize,
+    /// Tasks handled by the task-parallel (small) path.
+    pub small_tasks: usize,
+    /// Small tasks this processor solved locally.
+    pub local_small_tasks: usize,
+    /// Deepest task depth reached.
+    pub max_depth: usize,
+}
+
+/// *Collective.* Build the divide-and-conquer tree for `root_meta` with the
+/// chosen strategy. Every processor must call this with identical
+/// arguments.
+pub fn run<P: OocProblem>(
+    proc: &mut Proc,
+    problem: &P,
+    root_meta: P::Meta,
+    strategy: Strategy,
+) -> DncReport {
+    match strategy {
+        Strategy::DataParallel => run_data_parallel(proc, problem, root_meta),
+        Strategy::Mixed => run_mixed(proc, problem, root_meta, false),
+        Strategy::MixedImmediate => run_mixed(proc, problem, root_meta, true),
+        Strategy::Concatenated => run_concatenated(proc, problem, root_meta),
+        Strategy::TaskParallel => run_task_parallel(proc, problem, root_meta),
+    }
+}
+
+/// Pure task parallelism: each processor follows its own root-to-leaf path
+/// through the divide-and-conquer tree, its group halving (by cost) at
+/// every split, with the subtask's data redistributed into the subgroup.
+fn run_task_parallel<P: OocProblem>(
+    proc: &mut Proc,
+    problem: &P,
+    root_meta: P::Meta,
+) -> DncReport {
+    use pdc_cgm::Group;
+    let mut report = DncReport::default();
+    let mut group = Group::world(proc.nprocs());
+    let mut task = Task::root(root_meta);
+    loop {
+        report.max_depth = report.max_depth.max(task.depth);
+        if group.size() == 1 {
+            report.small_tasks += 1;
+            report.local_small_tasks += 1;
+            problem.solve_subtree_local(proc, &task);
+            return report;
+        }
+        report.large_tasks += 1;
+        match problem.process_group(proc, &group, &task) {
+            Outcome::Solved => return report,
+            Outcome::Split(l, r) => {
+                let (lt, rt) = task.children(l, r);
+                let (lg, rg) =
+                    group.split_by_cost(problem.cost(&lt.meta), problem.cost(&rt.meta));
+                problem.redistribute_split(proc, &group, &lt, &lg, &rt, &rg);
+                if lg.contains(proc.rank()) {
+                    group = lg;
+                    task = lt;
+                } else {
+                    group = rg;
+                    task = rt;
+                }
+            }
+        }
+    }
+}
+
+fn run_data_parallel<P: OocProblem>(
+    proc: &mut Proc,
+    problem: &P,
+    root_meta: P::Meta,
+) -> DncReport {
+    let mut report = DncReport::default();
+    let mut queue = VecDeque::from([Task::root(root_meta)]);
+    while let Some(task) = queue.pop_front() {
+        report.large_tasks += 1;
+        report.max_depth = report.max_depth.max(task.depth);
+        if let Outcome::Split(l, r) = problem.process_large(proc, &task) {
+            let (lt, rt) = task.children(l, r);
+            queue.push_back(lt);
+            queue.push_back(rt);
+        }
+    }
+    report
+}
+
+fn run_mixed<P: OocProblem>(
+    proc: &mut Proc,
+    problem: &P,
+    root_meta: P::Meta,
+    immediate: bool,
+) -> DncReport {
+    let mut report = DncReport::default();
+    let mut queue = VecDeque::new();
+    let mut small: Vec<Task<P::Meta>> = Vec::new();
+    let root = Task::root(root_meta);
+    if problem.is_small(&root.meta) {
+        small.push(root);
+    } else {
+        queue.push_back(root);
+    }
+    while let Some(task) = queue.pop_front() {
+        report.large_tasks += 1;
+        report.max_depth = report.max_depth.max(task.depth);
+        if let Outcome::Split(l, r) = problem.process_large(proc, &task) {
+            let (lt, rt) = task.children(l, r);
+            for child in [lt, rt] {
+                if problem.is_small(&child.meta) {
+                    report.max_depth = report.max_depth.max(child.depth);
+                    if immediate {
+                        // Ship and solve right away: more message startups,
+                        // used as the ablation against delaying.
+                        dispatch_small(proc, problem, vec![child], &mut report);
+                    } else {
+                        small.push(child);
+                    }
+                } else {
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+    if !small.is_empty() {
+        dispatch_small(proc, problem, small, &mut report);
+    }
+    report
+}
+
+/// LPT-assign, redistribute and locally solve a batch of small tasks.
+fn dispatch_small<P: OocProblem>(
+    proc: &mut Proc,
+    problem: &P,
+    tasks: Vec<Task<P::Meta>>,
+    report: &mut DncReport,
+) {
+    let costs: Vec<f64> = tasks.iter().map(|t| problem.cost(&t.meta)).collect();
+    let owners = lpt_assign(&costs, proc.nprocs());
+    let assignments: Vec<(Task<P::Meta>, usize)> =
+        tasks.into_iter().zip(owners.iter().copied()).collect();
+    problem.redistribute_small(proc, &assignments);
+    // Local solving: no communication, so processors proceed independently.
+    // Idle processors are NOT regrouped — the paper notes the same
+    // limitation of its implementation ("we do not regroup the processors
+    // as they become idle").
+    for (task, owner) in &assignments {
+        report.small_tasks += 1;
+        if *owner == proc.rank() {
+            problem.solve_small_local(proc, task);
+            report.local_small_tasks += 1;
+        }
+    }
+}
+
+fn run_concatenated<P: OocProblem>(
+    proc: &mut Proc,
+    problem: &P,
+    root_meta: P::Meta,
+) -> DncReport {
+    let mut report = DncReport::default();
+    let mut level = vec![Task::root(root_meta)];
+    while !level.is_empty() {
+        report.large_tasks += level.len();
+        report.max_depth = report
+            .max_depth
+            .max(level.iter().map(|t| t.depth).max().unwrap_or(0));
+        let outcomes = problem.process_level(proc, &level);
+        assert_eq!(outcomes.len(), level.len(), "process_level shape mismatch");
+        let mut next = Vec::new();
+        for (task, outcome) in level.iter().zip(outcomes) {
+            if let Outcome::Split(l, r) = outcome {
+                let (lt, rt) = task.children(l, r);
+                next.push(lt);
+                next.push(rt);
+            }
+        }
+        level = next;
+    }
+    report
+}

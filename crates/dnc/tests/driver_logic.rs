@@ -1,0 +1,176 @@
+//! Driver-logic tests with a synthetic in-memory problem: verify *what the
+//! strategies do* (processing order, batching, assignment) independent of
+//! any real workload.
+
+use parking_lot::Mutex;
+use pdc_cgm::{Cluster, Proc};
+use pdc_dnc::{run, Outcome, OocProblem, Strategy, Task};
+
+/// A scripted divide-and-conquer: tasks split until their size drops below
+/// `small_at`; every hook appends to a per-rank event log.
+struct Scripted {
+    small_at: u64,
+    events: Vec<Mutex<Vec<String>>>,
+}
+
+impl Scripted {
+    fn new(p: usize, small_at: u64) -> Self {
+        Scripted {
+            small_at,
+            events: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn log(&self, proc: &Proc, what: String) {
+        self.events[proc.rank()].lock().push(what);
+    }
+
+    fn events_of(&self, rank: usize) -> Vec<String> {
+        self.events[rank].lock().clone()
+    }
+}
+
+impl OocProblem for Scripted {
+    type Meta = u64; // task "size"
+
+    fn cost(&self, meta: &u64) -> f64 {
+        *meta as f64
+    }
+
+    fn is_small(&self, meta: &u64) -> bool {
+        *meta < self.small_at
+    }
+
+    fn process_large(&self, proc: &mut Proc, task: &Task<u64>) -> Outcome<u64> {
+        self.log(proc, format!("large:{}", task.id));
+        proc.barrier(); // keep ranks honest about collectivity
+        if task.meta <= 1 {
+            Outcome::Solved
+        } else {
+            // Uneven split to exercise cost-based assignment.
+            let left = task.meta * 2 / 3;
+            Outcome::Split(left, task.meta - left)
+        }
+    }
+
+    fn redistribute_one(&self, proc: &mut Proc, task: &Task<u64>, owner: usize) {
+        self.log(proc, format!("move:{}->{}", task.id, owner));
+        proc.barrier();
+    }
+
+    fn solve_small_local(&self, proc: &mut Proc, task: &Task<u64>) {
+        self.log(proc, format!("solve:{}", task.id));
+    }
+}
+
+#[test]
+fn mixed_defers_all_small_tasks_to_the_end() {
+    let p = 4;
+    let problem = Scripted::new(p, 10);
+    let cluster = Cluster::new(p);
+    let out = cluster.run(|proc| run(proc, &problem, 100u64, Strategy::Mixed));
+    let events = problem.events_of(0);
+    // No "move" event may precede the last "large" event.
+    let last_large = events.iter().rposition(|e| e.starts_with("large")).unwrap();
+    let first_move = events.iter().position(|e| e.starts_with("move")).unwrap();
+    assert!(
+        first_move > last_large,
+        "redistribution started before all large tasks finished: {events:?}"
+    );
+    // Reports agree across ranks.
+    for r in &out.results {
+        assert_eq!(r.large_tasks, out.results[0].large_tasks);
+        assert_eq!(r.small_tasks, out.results[0].small_tasks);
+    }
+    assert!(out.results[0].small_tasks >= 2);
+}
+
+#[test]
+fn immediate_interleaves_moves_with_large_tasks() {
+    let p = 4;
+    let problem = Scripted::new(p, 10);
+    let cluster = Cluster::new(p);
+    let _ = cluster.run(|proc| run(proc, &problem, 100u64, Strategy::MixedImmediate));
+    let events = problem.events_of(0);
+    let last_large = events.iter().rposition(|e| e.starts_with("large")).unwrap();
+    let first_move = events.iter().position(|e| e.starts_with("move")).unwrap();
+    assert!(
+        first_move < last_large,
+        "immediate mode should ship small tasks as discovered: {events:?}"
+    );
+}
+
+#[test]
+fn data_parallel_never_redistributes() {
+    let p = 3;
+    let problem = Scripted::new(p, 10);
+    let cluster = Cluster::new(p);
+    let out = cluster.run(|proc| run(proc, &problem, 50u64, Strategy::DataParallel));
+    for rank in 0..p {
+        assert!(
+            problem.events_of(rank).iter().all(|e| !e.starts_with("move")),
+            "data parallelism must not move data"
+        );
+    }
+    assert_eq!(out.results[0].small_tasks, 0);
+}
+
+#[test]
+fn concatenated_processes_levels_breadth_first() {
+    let p = 2;
+    let problem = Scripted::new(p, 0); // nothing is "small"
+    let cluster = Cluster::new(p);
+    let _ = cluster.run(|proc| run(proc, &problem, 20u64, Strategy::Concatenated));
+    let events = problem.events_of(0);
+    // Heap ids within one level are contiguous powers-of-two ranges; check
+    // ids appear in nondecreasing level order.
+    let levels: Vec<u32> = events
+        .iter()
+        .filter_map(|e| e.strip_prefix("large:"))
+        .map(|id| 63 - id.parse::<u64>().unwrap().leading_zeros())
+        .collect();
+    assert!(
+        levels.windows(2).all(|w| w[0] <= w[1]),
+        "levels out of order: {levels:?}"
+    );
+}
+
+#[test]
+fn every_small_task_is_solved_exactly_once() {
+    let p = 4;
+    let problem = Scripted::new(p, 12);
+    let cluster = Cluster::new(p);
+    let out = cluster.run(|proc| run(proc, &problem, 200u64, Strategy::Mixed));
+    let mut solved: Vec<String> = (0..p)
+        .flat_map(|r| problem.events_of(r))
+        .filter(|e| e.starts_with("solve"))
+        .collect();
+    let before = solved.len();
+    solved.sort();
+    solved.dedup();
+    assert_eq!(solved.len(), before, "a task was solved twice");
+    assert_eq!(solved.len(), out.results[0].small_tasks);
+}
+
+#[test]
+fn solved_root_means_one_task_total() {
+    struct Trivial;
+    impl OocProblem for Trivial {
+        type Meta = ();
+        fn cost(&self, _: &()) -> f64 {
+            1.0
+        }
+        fn is_small(&self, _: &()) -> bool {
+            false
+        }
+        fn process_large(&self, _: &mut Proc, _: &Task<()>) -> Outcome<()> {
+            Outcome::Solved
+        }
+        fn redistribute_one(&self, _: &mut Proc, _: &Task<()>, _: usize) {}
+        fn solve_small_local(&self, _: &mut Proc, _: &Task<()>) {}
+    }
+    let cluster = Cluster::new(3);
+    let out = cluster.run(|proc| run(proc, &Trivial, (), Strategy::Mixed));
+    assert_eq!(out.results[0].large_tasks, 1);
+    assert_eq!(out.results[0].small_tasks, 0);
+}

@@ -1,0 +1,69 @@
+//! Property-based tests: the divide-and-conquer sort must produce sorted,
+//! conserved output for arbitrary inputs, machine sizes and strategies;
+//! LPT assignment invariants hold for arbitrary cost vectors.
+
+use pdc_cgm::Cluster;
+use pdc_dnc::problems::sort::OocSort;
+use pdc_dnc::{assignment_imbalance, lpt_assign, run, Strategy};
+use pdc_pario::DiskFarm;
+use proptest::prelude::*;
+
+fn sort_all(strategy: Strategy, p: usize, input: &[u64]) -> Vec<u64> {
+    let farm = DiskFarm::in_memory(p);
+    let meta = OocSort::scatter_input(&farm, input);
+    let cluster = Cluster::new(p);
+    let _ = cluster.run(|proc| {
+        let problem = OocSort {
+            farm: &farm,
+            chunk_records: 64,
+            small_threshold: 50,
+            sample_per_proc: 8,
+        };
+        run(proc, &problem, meta, strategy)
+    });
+    OocSort::collect_sorted(&farm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sort_is_correct_for_arbitrary_inputs(
+        input in proptest::collection::vec(0u64..1_000, 0..600),
+        p in 1usize..5,
+        strategy_idx in 0usize..5,
+    ) {
+        let strategy = [
+            Strategy::Mixed,
+            Strategy::MixedImmediate,
+            Strategy::DataParallel,
+            Strategy::Concatenated,
+            Strategy::TaskParallel,
+        ][strategy_idx];
+        let sorted = sort_all(strategy, p, &input);
+        let mut expected = input.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn lpt_assigns_every_task_within_range(
+        costs in proptest::collection::vec(0.0f64..100.0, 0..64),
+        p in 1usize..9,
+    ) {
+        let owners = lpt_assign(&costs, p);
+        prop_assert_eq!(owners.len(), costs.len());
+        prop_assert!(owners.iter().all(|&o| o < p));
+        // LPT guarantee: max load <= mean + max single cost.
+        let mut load = vec![0.0f64; p];
+        for (c, &o) in costs.iter().zip(&owners) {
+            load[o] += c;
+        }
+        let total: f64 = costs.iter().sum();
+        let mean = total / p as f64;
+        let max_cost = costs.iter().cloned().fold(0.0f64, f64::max);
+        let max_load = load.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(max_load <= mean + max_cost + 1e-9);
+        let _ = assignment_imbalance(&costs, &owners, p);
+    }
+}

@@ -1,0 +1,196 @@
+//! Physical storage backends for a processor's local disk.
+//!
+//! Two backends share one trait: [`InMemory`] keeps bytes in RAM (fast, used
+//! by tests and the figure harness — remember the *cost* of I/O is always
+//! charged to the virtual clock regardless of backend), and [`OnDisk`]
+//! stores real files under a temporary directory (used by the out-of-core
+//! example to demonstrate genuinely disk-resident operation).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+/// Byte-level storage for one logical file.
+pub trait Backend: Send {
+    /// Append bytes at the end.
+    fn append(&mut self, bytes: &[u8]);
+    /// Read `len` bytes starting at `offset`. Panics if out of range
+    /// (callers track logical lengths).
+    fn read(&mut self, offset: u64, len: usize) -> Vec<u8>;
+    /// Current length in bytes.
+    fn len(&self) -> u64;
+    /// Whether the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Discard all contents.
+    fn clear(&mut self);
+}
+
+/// Heap-backed storage.
+#[derive(Default)]
+pub struct InMemory {
+    data: Vec<u8>,
+}
+
+impl InMemory {
+    /// New empty in-memory file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for InMemory {
+    fn append(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    fn read(&mut self, offset: u64, len: usize) -> Vec<u8> {
+        let start = offset as usize;
+        let end = start
+            .checked_add(len)
+            .expect("read range overflow");
+        assert!(end <= self.data.len(), "read past end of in-memory file");
+        self.data[start..end].to_vec()
+    }
+
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+/// Real-file storage under a caller-provided directory.
+pub struct OnDisk {
+    path: PathBuf,
+    file: File,
+    len: u64,
+}
+
+impl OnDisk {
+    /// Create (truncating) a real file at `path`.
+    pub fn create(path: PathBuf) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        Ok(OnDisk { path, file, len: 0 })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+}
+
+impl Backend for OnDisk {
+    fn append(&mut self, bytes: &[u8]) {
+        self.file
+            .seek(SeekFrom::End(0))
+            .and_then(|_| self.file.write_all(bytes))
+            .expect("on-disk append failed");
+        self.len += bytes.len() as u64;
+    }
+
+    fn read(&mut self, offset: u64, len: usize) -> Vec<u8> {
+        assert!(offset + len as u64 <= self.len, "read past end of file");
+        let mut buf = vec![0u8; len];
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.file.read_exact(&mut buf))
+            .expect("on-disk read failed");
+        buf
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.file.set_len(0).expect("truncate failed");
+        self.len = 0;
+    }
+}
+
+impl Drop for OnDisk {
+    fn drop(&mut self) {
+        // Best-effort cleanup of the scratch file.
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Which physical backend a disk farm should use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Bytes held in RAM (default; virtual I/O costs still charged).
+    InMemory,
+    /// Real files under the given scratch directory.
+    OnDisk(PathBuf),
+}
+
+impl BackendKind {
+    /// Instantiate a backend for file `name` of processor `rank`.
+    pub fn open(&self, rank: usize, name: &str) -> Box<dyn Backend> {
+        match self {
+            BackendKind::InMemory => Box::new(InMemory::new()),
+            BackendKind::OnDisk(dir) => {
+                let sanitized: String = name
+                    .chars()
+                    .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+                    .collect();
+                let path = dir.join(format!("p{rank:03}")).join(sanitized);
+                Box::new(OnDisk::create(path).expect("create on-disk backend"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut b: Box<dyn Backend>) {
+        assert!(b.is_empty());
+        b.append(b"hello ");
+        b.append(b"world");
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.read(0, 5), b"hello");
+        assert_eq!(b.read(6, 5), b"world");
+        assert_eq!(b.read(0, 11), b"hello world");
+        b.clear();
+        assert_eq!(b.len(), 0);
+        b.append(b"x");
+        assert_eq!(b.read(0, 1), b"x");
+    }
+
+    #[test]
+    fn in_memory_backend() {
+        exercise(Box::new(InMemory::new()));
+    }
+
+    #[test]
+    fn on_disk_backend() {
+        let dir = std::env::temp_dir().join(format!("pario-test-{}", std::process::id()));
+        exercise(BackendKind::OnDisk(dir.clone()).open(0, "file-a"));
+        // Name sanitization must not collide trivially different names.
+        let b = BackendKind::OnDisk(dir.clone()).open(1, "weird/name");
+        drop(b);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn in_memory_read_past_end_panics() {
+        let mut b = InMemory::new();
+        b.append(b"ab");
+        b.read(1, 2);
+    }
+}

@@ -1,0 +1,305 @@
+//! One processor's local disk: a namespace of typed record files with
+//! chunked, cost-charged access.
+//!
+//! Every read or write request charges the owning processor's virtual clock
+//! with `access_latency + bytes / bandwidth` (see [`pdc_cgm::DiskParams`]),
+//! so algorithms that issue many small requests pay for it — exactly the
+//! effect the paper's chunked out-of-core design avoids.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use pdc_cgm::Proc;
+
+use crate::backend::{Backend, BackendKind};
+use crate::rec::{decode_batch, encode_batch, Rec};
+
+/// Typed handle to a file on some [`NodeDisk`]. Cheap to clone; the data
+/// lives on the disk, not in the handle.
+pub struct TypedFile<R> {
+    name: String,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<R> Clone for TypedFile<R> {
+    fn clone(&self) -> Self {
+        TypedFile {
+            name: self.name.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for TypedFile<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TypedFile({})", self.name)
+    }
+}
+
+impl<R> TypedFile<R> {
+    /// The file's name on its disk.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+struct FileEntry {
+    backend: Box<dyn Backend>,
+    rec_bytes: usize,
+    records: usize,
+}
+
+/// The local disk of one virtual processor.
+pub struct NodeDisk {
+    rank: usize,
+    kind: BackendKind,
+    files: HashMap<String, FileEntry>,
+}
+
+impl NodeDisk {
+    /// Empty disk for processor `rank` with physical storage `kind`.
+    pub fn new(rank: usize, kind: BackendKind) -> Self {
+        NodeDisk {
+            rank,
+            kind,
+            files: HashMap::new(),
+        }
+    }
+
+    /// Owning processor's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Create (or truncate) a typed file.
+    pub fn create<R: Rec>(&mut self, name: &str) -> TypedFile<R> {
+        let backend = self.kind.open(self.rank, name);
+        self.files.insert(
+            name.to_string(),
+            FileEntry {
+                backend,
+                rec_bytes: R::ENCODED_BYTES,
+                records: 0,
+            },
+        );
+        TypedFile {
+            name: name.to_string(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Re-open an existing file with its recorded type size checked.
+    pub fn open<R: Rec>(&self, name: &str) -> TypedFile<R> {
+        let entry = self
+            .files
+            .get(name)
+            .unwrap_or_else(|| panic!("no file named {name:?} on disk of rank {}", self.rank));
+        assert_eq!(
+            entry.rec_bytes,
+            R::ENCODED_BYTES,
+            "type mismatch opening {name:?}"
+        );
+        TypedFile {
+            name: name.to_string(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Does a file with this name exist?
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Names of all files on this disk (unsorted).
+    pub fn file_names(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// Delete a file, reclaiming its space.
+    pub fn delete(&mut self, name: &str) {
+        self.files.remove(name);
+    }
+
+    /// Rename a file (destination is overwritten if present).
+    pub fn rename(&mut self, old: &str, new: &str) {
+        let entry = self
+            .files
+            .remove(old)
+            .unwrap_or_else(|| panic!("rename: no file named {old:?}"));
+        self.files.insert(new.to_string(), entry);
+    }
+
+    /// Number of records currently in `file`.
+    pub fn num_records<R: Rec>(&self, file: &TypedFile<R>) -> usize {
+        self.entry(file).records
+    }
+
+    /// Total bytes across all files (space accounting).
+    pub fn used_bytes(&self) -> u64 {
+        self.files.values().map(|e| e.backend.len()).sum()
+    }
+
+    fn entry<R: Rec>(&self, file: &TypedFile<R>) -> &FileEntry {
+        self.files
+            .get(&file.name)
+            .unwrap_or_else(|| panic!("file {:?} missing (deleted?)", file.name))
+    }
+
+    fn entry_mut<R: Rec>(&mut self, file: &TypedFile<R>) -> &mut FileEntry {
+        self.files
+            .get_mut(&file.name)
+            .unwrap_or_else(|| panic!("file {:?} missing (deleted?)", file.name))
+    }
+
+    /// Append a batch of records as one write request, charging `proc`.
+    pub fn append<R: Rec>(&mut self, proc: &mut Proc, file: &TypedFile<R>, records: &[R]) {
+        if records.is_empty() {
+            return;
+        }
+        let bytes = encode_batch(records);
+        let entry = self.entry_mut(file);
+        let ws = entry.backend.len() as usize + bytes.len();
+        proc.disk_write_ws(bytes.len(), ws);
+        entry.backend.append(&bytes);
+        entry.records += records.len();
+    }
+
+    /// Read `count` records starting at index `start` as one read request,
+    /// charging `proc`.
+    pub fn read_range<R: Rec>(
+        &mut self,
+        proc: &mut Proc,
+        file: &TypedFile<R>,
+        start: usize,
+        count: usize,
+    ) -> Vec<R> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let entry = self.entry_mut(file);
+        assert!(
+            start + count <= entry.records,
+            "read_range [{start}, {}) past end ({} records) of {:?}",
+            start + count,
+            entry.records,
+            file.name
+        );
+        let nbytes = count * R::ENCODED_BYTES;
+        proc.disk_read_ws(nbytes, entry.records * R::ENCODED_BYTES);
+        let bytes = entry
+            .backend
+            .read((start * R::ENCODED_BYTES) as u64, nbytes);
+        decode_batch(&bytes)
+    }
+
+    /// Read the whole file in one request (callers use this only for files
+    /// known to fit in memory, e.g. the paper's "small nodes").
+    pub fn read_all<R: Rec>(&mut self, proc: &mut Proc, file: &TypedFile<R>) -> Vec<R> {
+        let n = self.num_records(file);
+        self.read_range(proc, file, 0, n)
+    }
+
+    /// Append records **without charging any virtual time** — for loading
+    /// initial data or inspecting results outside a cluster run (the paper
+    /// assumes the training data is already resident on the disks).
+    pub fn append_uncharged<R: Rec>(&mut self, file: &TypedFile<R>, records: &[R]) {
+        if records.is_empty() {
+            return;
+        }
+        let bytes = encode_batch(records);
+        let entry = self.entry_mut(file);
+        entry.backend.append(&bytes);
+        entry.records += records.len();
+    }
+
+    /// Read the whole file **without charging any virtual time** — for
+    /// verification outside a cluster run.
+    pub fn read_all_uncharged<R: Rec>(&mut self, file: &TypedFile<R>) -> Vec<R> {
+        let n = self.num_records(file);
+        if n == 0 {
+            return Vec::new();
+        }
+        let entry = self.entry_mut(file);
+        let bytes = entry.backend.read(0, n * R::ENCODED_BYTES);
+        decode_batch(&bytes)
+    }
+
+    /// Chunked sequential reader over `file` with a bounded per-chunk record
+    /// count (the out-of-core memory budget).
+    pub fn reader<R: Rec>(&self, file: &TypedFile<R>, chunk_records: usize) -> ChunkedReader<R> {
+        assert!(chunk_records > 0, "chunk_records must be positive");
+        ChunkedReader {
+            file: file.clone(),
+            cursor: 0,
+            chunk_records,
+        }
+    }
+}
+
+/// Streaming reader: yields chunks of at most `chunk_records` records, each
+/// as one charged disk request.
+pub struct ChunkedReader<R> {
+    file: TypedFile<R>,
+    cursor: usize,
+    chunk_records: usize,
+}
+
+impl<R: Rec> ChunkedReader<R> {
+    /// Read the next chunk, or `None` at end of file.
+    pub fn next_chunk(&mut self, disk: &mut NodeDisk, proc: &mut Proc) -> Option<Vec<R>> {
+        let total = disk.num_records(&self.file);
+        if self.cursor >= total {
+            return None;
+        }
+        let count = self.chunk_records.min(total - self.cursor);
+        let out = disk.read_range(proc, &self.file, self.cursor, count);
+        self.cursor += count;
+        Some(out)
+    }
+
+    /// Records read so far.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+}
+
+/// Buffered writer: batches appended records into `chunk_records`-sized
+/// write requests. Call [`BufferedWriter::flush`] before dropping.
+pub struct BufferedWriter<R> {
+    file: TypedFile<R>,
+    buf: Vec<R>,
+    chunk_records: usize,
+}
+
+impl<R: Rec> BufferedWriter<R> {
+    /// New writer appending to `file`.
+    pub fn new(file: TypedFile<R>, chunk_records: usize) -> Self {
+        assert!(chunk_records > 0, "chunk_records must be positive");
+        BufferedWriter {
+            file,
+            buf: Vec::with_capacity(chunk_records),
+            chunk_records,
+        }
+    }
+
+    /// Buffer one record, flushing if the buffer is full.
+    pub fn push(&mut self, disk: &mut NodeDisk, proc: &mut Proc, record: R) {
+        self.buf.push(record);
+        if self.buf.len() >= self.chunk_records {
+            self.flush(disk, proc);
+        }
+    }
+
+    /// Write out any buffered records.
+    pub fn flush(&mut self, disk: &mut NodeDisk, proc: &mut Proc) {
+        if !self.buf.is_empty() {
+            disk.append(proc, &self.file, &self.buf);
+            self.buf.clear();
+        }
+    }
+
+    /// Records currently buffered (not yet on disk).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}

@@ -1,0 +1,73 @@
+//! The disk farm: one [`NodeDisk`] per processor of a shared-nothing
+//! machine.
+//!
+//! Virtual processors run as OS threads, so the farm wraps each disk in a
+//! mutex. There is no contention in a correct shared-nothing program — each
+//! processor only ever locks its own disk — but the mutex keeps the API safe
+//! if a test inspects disks from the outside after a run.
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::backend::BackendKind;
+use crate::disk::NodeDisk;
+
+/// Per-processor local disks of a `p`-processor machine.
+pub struct DiskFarm {
+    nodes: Vec<Mutex<NodeDisk>>,
+}
+
+impl DiskFarm {
+    /// A farm of `p` empty disks.
+    pub fn new(p: usize, kind: BackendKind) -> Self {
+        DiskFarm {
+            nodes: (0..p).map(|r| Mutex::new(NodeDisk::new(r, kind.clone()))).collect(),
+        }
+    }
+
+    /// In-memory farm (the default for tests and benches).
+    pub fn in_memory(p: usize) -> Self {
+        Self::new(p, BackendKind::InMemory)
+    }
+
+    /// Number of disks.
+    pub fn nprocs(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Lock processor `rank`'s local disk.
+    pub fn lock(&self, rank: usize) -> MutexGuard<'_, NodeDisk> {
+        self.nodes[rank].lock()
+    }
+
+    /// Total bytes stored across all disks.
+    pub fn used_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.lock().used_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_cgm::Cluster;
+
+    #[test]
+    fn each_proc_uses_its_own_disk() {
+        let p = 4;
+        let farm = DiskFarm::in_memory(p);
+        let cluster = Cluster::new(p);
+        let out = cluster.run(|proc| {
+            let mut disk = farm.lock(proc.rank());
+            let f = disk.create::<u64>("mine");
+            let data: Vec<u64> = (0..10).map(|i| (proc.rank() * 100 + i) as u64).collect();
+            disk.append(proc, &f, &data);
+            disk.num_records(&f)
+        });
+        assert!(out.results.iter().all(|&n| n == 10));
+        for rank in 0..p {
+            let disk = farm.lock(rank);
+            assert_eq!(disk.rank(), rank);
+            assert_eq!(disk.used_bytes(), 80);
+        }
+        assert_eq!(farm.used_bytes(), 4 * 80);
+    }
+}

@@ -1,0 +1,47 @@
+//! # pdc-pario — out-of-core parallel I/O subsystem
+//!
+//! The paper assumes a shared-nothing machine where "each processor has its
+//! own disk which can be controlled independently" and where out-of-core
+//! data is streamed through a bounded memory buffer. This crate provides
+//! that substrate on top of the simulated machine of [`pdc_cgm`]:
+//!
+//! * [`DiskFarm`] — one [`NodeDisk`] per processor;
+//! * [`NodeDisk`] — a namespace of fixed-size-record files
+//!   ([`TypedFile`]) with chunked, *cost-charged* reads and writes;
+//! * [`ChunkedReader`] / [`BufferedWriter`] — streaming access within a
+//!   memory budget (the paper's "memory limit");
+//! * [`redistribute`] — compute-dependent parallel I/O: read → personalized
+//!   all-to-all → write, the operation that moves a subtask's data to its
+//!   assigned processor group;
+//! * two physical backends — RAM-backed (default) and real files — that
+//!   charge identical virtual I/O costs.
+
+//!
+//! ```
+//! use pdc_cgm::Cluster;
+//! use pdc_pario::DiskFarm;
+//!
+//! let farm = DiskFarm::in_memory(2);
+//! let out = Cluster::new(2).run(|proc| {
+//!     let mut disk = farm.lock(proc.rank());
+//!     let f = disk.create::<u64>("data");
+//!     disk.append(proc, &f, &[1, 2, 3]);
+//!     disk.read_all(proc, &f).len()
+//! });
+//! assert_eq!(out.results, vec![3, 3]);
+//! assert!(out.makespan() > 0.0); // the writes and reads were charged
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod disk;
+pub mod farm;
+pub mod rec;
+pub mod redistribute;
+
+pub use backend::{Backend, BackendKind, InMemory, OnDisk};
+pub use disk::{BufferedWriter, ChunkedReader, NodeDisk, TypedFile};
+pub use farm::DiskFarm;
+pub use rec::{decode_batch, encode_batch, Rec};
+pub use redistribute::redistribute;

@@ -1,0 +1,161 @@
+//! Direct tests of the typed-file disk layer: chunked readers, buffered
+//! writers, and — crucially for the reproduction — the virtual-time cost
+//! accounting of every I/O request.
+
+use pdc_cgm::{Cluster, MachineConfig};
+use pdc_pario::{BufferedWriter, DiskFarm};
+
+#[test]
+fn read_write_roundtrip_and_ranges() {
+    let farm = DiskFarm::in_memory(1);
+    let cluster = Cluster::new(1);
+    let out = cluster.run(|proc| {
+        let mut disk = farm.lock(0);
+        let f = disk.create::<u64>("data");
+        let values: Vec<u64> = (0..100).collect();
+        disk.append(proc, &f, &values);
+        assert_eq!(disk.num_records(&f), 100);
+        assert_eq!(disk.read_range(proc, &f, 10, 5), vec![10, 11, 12, 13, 14]);
+        assert_eq!(disk.read_range(proc, &f, 0, 0), Vec::<u64>::new());
+        disk.read_all(proc, &f)
+    });
+    assert_eq!(out.results[0], (0..100).collect::<Vec<u64>>());
+}
+
+#[test]
+fn chunked_reader_visits_everything_in_order() {
+    let farm = DiskFarm::in_memory(1);
+    let cluster = Cluster::new(1);
+    let out = cluster.run(|proc| {
+        let mut disk = farm.lock(0);
+        let f = disk.create::<u64>("data");
+        let values: Vec<u64> = (0..103).collect(); // not a multiple of 10
+        disk.append(proc, &f, &values);
+        let mut reader = disk.reader(&f, 10);
+        let mut collected = Vec::new();
+        let mut chunks = 0;
+        while let Some(chunk) = reader.next_chunk(&mut disk, proc) {
+            assert!(chunk.len() <= 10);
+            collected.extend(chunk);
+            chunks += 1;
+        }
+        (collected, chunks, reader.position())
+    });
+    let (collected, chunks, pos) = &out.results[0];
+    assert_eq!(collected, &(0..103).collect::<Vec<u64>>());
+    assert_eq!(*chunks, 11);
+    assert_eq!(*pos, 103);
+}
+
+#[test]
+fn buffered_writer_batches_requests() {
+    let farm = DiskFarm::in_memory(1);
+    let cluster = Cluster::new(1);
+    let out = cluster.run(|proc| {
+        let mut disk = farm.lock(0);
+        let f = disk.create::<u64>("data");
+        let mut w = BufferedWriter::new(f.clone(), 16);
+        for i in 0..100u64 {
+            w.push(&mut disk, proc, i);
+        }
+        let before_flush = proc.counters.disk_writes;
+        w.flush(&mut disk, proc);
+        assert_eq!(w.buffered(), 0);
+        (disk.num_records(&f), before_flush, proc.counters.disk_writes)
+    });
+    let (records, before, after) = out.results[0];
+    assert_eq!(records, 100);
+    // 100 records at 16 per request: 6 full flushes + 1 final partial.
+    assert_eq!(before, 6);
+    assert_eq!(after, 7);
+}
+
+#[test]
+fn io_costs_follow_the_disk_model() {
+    // With the buffer cache disabled (cache_bytes = 0), each request costs
+    // exactly latency + bytes/bandwidth.
+    let mut cfg = MachineConfig::default();
+    cfg.cost.disk.access_latency = 0.004;
+    cfg.cost.disk.bandwidth = 1.0e6;
+    cfg.cost.disk.cache_bytes = 0;
+    let farm = DiskFarm::in_memory(1);
+    let cluster = Cluster::with_config(1, cfg);
+    let out = cluster.run(|proc| {
+        let mut disk = farm.lock(0);
+        let f = disk.create::<u64>("data");
+        disk.append(proc, &f, &vec![0u64; 1000]); // 8000 bytes
+        let after_write = proc.clock();
+        let _ = disk.read_range(proc, &f, 0, 500); // 4000 bytes
+        (after_write, proc.clock())
+    });
+    let (w, total) = out.results[0];
+    assert!((w - (0.004 + 8_000.0 / 1.0e6)).abs() < 1e-12, "write cost {w}");
+    let r = total - w;
+    assert!((r - (0.004 + 4_000.0 / 1.0e6)).abs() < 1e-12, "read cost {r}");
+}
+
+#[test]
+fn buffer_cache_makes_small_files_cheap() {
+    let mut cfg = MachineConfig::default();
+    cfg.cost.disk.access_latency = 0.01;
+    cfg.cost.disk.bandwidth = 1.0e6;
+    cfg.cost.disk.cache_bytes = 10_000;
+    cfg.cost.disk.cached_bandwidth = 100.0e6;
+    let farm = DiskFarm::in_memory(1);
+    let cluster = Cluster::with_config(1, cfg);
+    let out = cluster.run(|proc| {
+        let mut disk = farm.lock(0);
+        // Small file: fits the cache entirely.
+        let small = disk.create::<u64>("small");
+        disk.append(proc, &small, &vec![1u64; 1_000]); // 8 KB <= 10 KB
+        let t_small_write = proc.clock();
+        // Large file: exceeds the cache.
+        let large = disk.create::<u64>("large");
+        disk.append(proc, &large, &vec![1u64; 2_000]); // 16 KB > 10 KB
+        let t_large_write = proc.clock() - t_small_write;
+        (t_small_write, t_large_write)
+    });
+    let (small, large) = out.results[0];
+    assert!(
+        small * 10.0 < large,
+        "cached write {small} should be far cheaper than cold write {large}"
+    );
+}
+
+#[test]
+fn delete_reclaims_space_and_uncharged_helpers_are_free() {
+    let farm = DiskFarm::in_memory(2);
+    {
+        let mut disk = farm.lock(0);
+        let f = disk.create::<u64>("x");
+        disk.append_uncharged(&f, &[1, 2, 3]);
+        assert_eq!(disk.read_all_uncharged(&f), vec![1, 2, 3]);
+        assert_eq!(disk.used_bytes(), 24);
+        disk.delete("x");
+        assert!(!disk.exists("x"));
+        assert_eq!(disk.used_bytes(), 0);
+    }
+    assert_eq!(farm.used_bytes(), 0);
+}
+
+#[test]
+#[should_panic(expected = "type mismatch")]
+fn reopening_with_wrong_type_panics() {
+    let farm = DiskFarm::in_memory(1);
+    let mut disk = farm.lock(0);
+    disk.create::<u64>("x");
+    let _ = disk.open::<u8>("x");
+}
+
+#[test]
+#[should_panic(expected = "read_range")]
+fn reading_past_end_panics() {
+    let farm = DiskFarm::in_memory(1);
+    let cluster = Cluster::new(1);
+    cluster.run(|proc| {
+        let mut disk = farm.lock(0);
+        let f = disk.create::<u64>("x");
+        disk.append(proc, &f, &[1, 2, 3]);
+        let _ = disk.read_range(proc, &f, 2, 5);
+    });
+}

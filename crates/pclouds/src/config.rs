@@ -1,0 +1,92 @@
+//! pCLOUDS configuration.
+
+use pdc_clouds::CloudsParams;
+
+/// How the replication method evaluates interval boundaries (§5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryEval {
+    /// "All the global frequency vectors of each numeric attribute are
+    /// assigned to only one processor" — no further communication for the
+    /// gini computation, but processors can idle when `p` exceeds the
+    /// attribute count (the paper's implementation choice).
+    AttributeBased,
+    /// "The global frequency vector of each interval is assigned to only
+    /// one processor" — every attribute's intervals are sliced across all
+    /// processors (better balance, one extra prefix-sum).
+    IntervalBased,
+}
+
+/// Parameters of a pCLOUDS training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcloudsConfig {
+    /// The CLOUDS algorithm parameters (q schedule, stopping rules, method).
+    pub clouds: CloudsParams,
+    /// Per-processor memory budget for streaming out-of-core passes, in
+    /// bytes. The paper "used a memory limit of 1 MB for 6.0 million tuples
+    /// [and] linearly scaled [it] based on the size for other data sets".
+    pub memory_limit_bytes: usize,
+    /// Switch from data parallelism to (delayed) task parallelism when a
+    /// node's interval count drops to this value — "we used a value of ten
+    /// (in terms of the number of intervals) for the threshold".
+    pub switch_threshold_intervals: usize,
+    /// Boundary-evaluation approach of the replication method.
+    pub boundary_eval: BoundaryEval,
+}
+
+impl Default for PcloudsConfig {
+    fn default() -> Self {
+        PcloudsConfig {
+            clouds: CloudsParams::default(),
+            memory_limit_bytes: 1 << 20,
+            switch_threshold_intervals: 10,
+            boundary_eval: BoundaryEval::AttributeBased,
+        }
+    }
+}
+
+impl PcloudsConfig {
+    /// The paper's configuration, with the memory limit scaled linearly in
+    /// the training-set size (1 MB at 6 million tuples).
+    pub fn paper_scaled(n_records: u64) -> Self {
+        let mem = ((n_records as f64 / 6.0e6) * (1 << 20) as f64).max(64.0 * 1024.0) as usize;
+        PcloudsConfig {
+            memory_limit_bytes: mem,
+            ..PcloudsConfig::default()
+        }
+    }
+
+    /// Streaming chunk size in records for the given record size.
+    pub fn chunk_records(&self, record_bytes: usize) -> usize {
+        (self.memory_limit_bytes / record_bytes.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_records_from_memory_limit() {
+        let cfg = PcloudsConfig {
+            memory_limit_bytes: 1040,
+            ..PcloudsConfig::default()
+        };
+        assert_eq!(cfg.chunk_records(52), 20);
+        assert_eq!(cfg.chunk_records(0), 1040);
+        let tiny = PcloudsConfig {
+            memory_limit_bytes: 10,
+            ..PcloudsConfig::default()
+        };
+        assert_eq!(tiny.chunk_records(52), 1, "never zero");
+    }
+
+    #[test]
+    fn paper_scaling_is_linear_with_floor() {
+        let at_6m = PcloudsConfig::paper_scaled(6_000_000);
+        assert_eq!(at_6m.memory_limit_bytes, 1 << 20);
+        let at_3m = PcloudsConfig::paper_scaled(3_000_000);
+        assert_eq!(at_3m.memory_limit_bytes, (1 << 20) / 2);
+        let small = PcloudsConfig::paper_scaled(1_000);
+        assert_eq!(small.memory_limit_bytes, 64 * 1024, "floor applies");
+    }
+}

@@ -1,0 +1,294 @@
+//! End-to-end pCLOUDS training tests: correctness across machine sizes and
+//! strategies, equivalence properties, and virtual-time sanity.
+
+use pdc_cgm::Cluster;
+use pdc_clouds::{accuracy, build_tree, CloudsParams};
+use pdc_datagen::{generate, train_test_split, ClassifyFn, GeneratorConfig};
+use pdc_dnc::Strategy;
+use pdc_pario::DiskFarm;
+use pdc_pclouds::{load_dataset, train, train_in_memory, PcloudsConfig};
+
+fn test_config() -> PcloudsConfig {
+    PcloudsConfig {
+        clouds: CloudsParams {
+            q_root: 200,
+            q_min: 10,
+            sample_size: 2_000,
+            ..CloudsParams::default()
+        },
+        memory_limit_bytes: 32 * 1024, // force genuinely chunked streaming
+        switch_threshold_intervals: 10,
+        ..PcloudsConfig::default()
+    }
+}
+
+#[test]
+fn trains_accurate_tree_on_f2() {
+    let records = generate(10_000, GeneratorConfig::default());
+    let (train_set, test_set) = train_test_split(records, 0.8);
+    for p in [1, 2, 4] {
+        let out = train_in_memory(&train_set, p, &test_config());
+        let acc = accuracy(&out.tree, &test_set);
+        assert!(acc > 0.95, "p={p}: accuracy {acc}");
+        assert!(out.runtime() > 0.0);
+    }
+}
+
+#[test]
+fn tree_is_identical_across_machine_sizes() {
+    // The split decisions depend only on global statistics, which are
+    // combined exactly — so the tree must not depend on p.
+    let records = generate(6_000, GeneratorConfig::default());
+    let reference = train_in_memory(&records, 1, &test_config()).tree;
+    for p in [2, 3, 4, 8] {
+        let tree = train_in_memory(&records, p, &test_config()).tree;
+        // Compare structure via rendering (ids may differ after grafting).
+        assert_eq!(
+            tree.render(),
+            reference.render(),
+            "tree differs between p=1 and p={p}"
+        );
+    }
+}
+
+#[test]
+fn runtime_is_deterministic() {
+    let records = generate(4_000, GeneratorConfig::default());
+    let a = train_in_memory(&records, 4, &test_config());
+    let b = train_in_memory(&records, 4, &test_config());
+    assert_eq!(a.runtime().to_bits(), b.runtime().to_bits());
+    assert_eq!(a.tree, b.tree);
+}
+
+#[test]
+fn speedup_with_more_processors() {
+    // More processors must reduce the simulated parallel runtime for a
+    // data set large enough to amortize communication.
+    let records = generate(20_000, GeneratorConfig::default());
+    let t1 = train_in_memory(&records, 1, &test_config()).runtime();
+    let t4 = train_in_memory(&records, 4, &test_config()).runtime();
+    let t8 = train_in_memory(&records, 8, &test_config()).runtime();
+    assert!(t4 < t1, "t1={t1} t4={t4}");
+    assert!(t8 < t4, "t4={t4} t8={t8}");
+    let speedup4 = t1 / t4;
+    assert!(speedup4 > 2.0, "speedup at p=4 only {speedup4:.2}");
+}
+
+#[test]
+fn matches_sequential_clouds_accuracy() {
+    let records = generate(8_000, GeneratorConfig::default());
+    let (train_set, test_set) = train_test_split(records, 0.8);
+    let cfg = test_config();
+    let parallel = train_in_memory(&train_set, 4, &cfg);
+    let seq_tree = build_tree(&train_set, &cfg.clouds);
+    let (a_par, a_seq) = (
+        accuracy(&parallel.tree, &test_set),
+        accuracy(&seq_tree, &test_set),
+    );
+    assert!(
+        (a_par - a_seq).abs() < 0.02,
+        "parallel {a_par} vs sequential {a_seq}"
+    );
+}
+
+#[test]
+fn all_strategies_produce_working_trees() {
+    let records = generate(6_000, GeneratorConfig::default());
+    let (train_set, test_set) = train_test_split(records, 0.8);
+    let cfg = test_config();
+    let farm_for = || {
+        let farm = DiskFarm::in_memory(4);
+        let root = load_dataset(&farm, &train_set, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        (farm, root)
+    };
+    for strategy in [
+        Strategy::Mixed,
+        Strategy::MixedImmediate,
+        Strategy::DataParallel,
+        Strategy::Concatenated,
+    ] {
+        let (farm, root) = farm_for();
+        let cluster = Cluster::new(4);
+        let out = train(&cluster, &farm, &root, &cfg, strategy);
+        let acc = accuracy(&out.tree, &test_set);
+        assert!(acc > 0.94, "{strategy:?}: accuracy {acc}");
+    }
+}
+
+#[test]
+fn mixed_produces_small_tasks_and_grafts_them() {
+    let records = generate(12_000, GeneratorConfig::default());
+    let out = train_in_memory(&records, 4, &test_config());
+    let report = &out.run.results[0];
+    assert!(report.small_tasks > 0, "expected small tasks: {report:?}");
+    assert!(report.large_tasks > 0);
+    let small_solved: usize = out.metrics.iter().map(|m| m.small_solved).sum();
+    assert_eq!(small_solved, report.small_tasks);
+}
+
+#[test]
+fn disks_are_clean_after_training() {
+    // Every node file must be consumed: partitioned, redistributed or
+    // deleted at leaves.
+    let records = generate(5_000, GeneratorConfig::default());
+    let cfg = test_config();
+    let farm = DiskFarm::in_memory(4);
+    let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+    let cluster = Cluster::new(4);
+    let _ = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
+    for rank in 0..4 {
+        let disk = farm.lock(rank);
+        assert!(
+            disk.file_names().is_empty(),
+            "rank {rank} left files: {:?}",
+            disk.file_names()
+        );
+    }
+}
+
+#[test]
+fn works_on_other_classification_functions() {
+    for f in [ClassifyFn::F1, ClassifyFn::F6, ClassifyFn::F7] {
+        let records = generate(
+            8_000,
+            GeneratorConfig {
+                function: f,
+                ..GeneratorConfig::default()
+            },
+        );
+        let (train_set, test_set) = train_test_split(records, 0.8);
+        let out = train_in_memory(&train_set, 4, &test_config());
+        let acc = accuracy(&out.tree, &test_set);
+        assert!(acc > 0.92, "{f:?}: accuracy {acc}");
+    }
+}
+
+#[test]
+fn noisy_data_still_trains() {
+    let records = generate(
+        8_000,
+        GeneratorConfig {
+            noise: 0.1,
+            ..GeneratorConfig::default()
+        },
+    );
+    let (train_set, test_set) = train_test_split(records, 0.8);
+    let mut out = train_in_memory(&train_set, 4, &test_config());
+    let unpruned = accuracy(&out.tree, &test_set);
+    // MDL pruning removes the noise-fitted structure.
+    pdc_clouds::mdl_prune(&mut out.tree, &pdc_clouds::MdlParams::default());
+    let acc = accuracy(&out.tree, &test_set);
+    // 10% label noise caps achievable accuracy near 90%.
+    assert!(acc > 0.82, "accuracy {acc} (unpruned {unpruned})");
+    assert!(acc >= unpruned - 0.01, "pruning should not hurt: {unpruned} -> {acc}");
+}
+
+#[test]
+fn tiny_dataset_single_leaf_or_small_tree() {
+    let records = generate(50, GeneratorConfig::default());
+    let out = train_in_memory(&records, 4, &test_config());
+    assert!(out.tree.num_nodes() >= 1);
+    // Must classify its own training data reasonably.
+    assert!(accuracy(&out.tree, &records) > 0.7);
+}
+
+#[test]
+fn pure_dataset_yields_single_leaf() {
+    let mut records = generate(2_000, GeneratorConfig::default());
+    for r in &mut records {
+        r.class = 0;
+    }
+    let out = train_in_memory(&records, 4, &test_config());
+    assert_eq!(out.tree.num_nodes(), 1);
+}
+
+#[test]
+fn survival_ratio_stays_low() {
+    let records = generate(20_000, GeneratorConfig::default());
+    let out = train_in_memory(&records, 4, &test_config());
+    // At the root — where a full scan would be most expensive — the SSE
+    // bound must prune almost everything (the CLOUDS claim).
+    let root_ratio = out
+        .metrics
+        .iter()
+        .map(|m| m.root_survival_ratio)
+        .fold(0.0, f64::max);
+    assert!(
+        root_ratio < 0.25,
+        "root survival ratio {root_ratio} — SSE pruning ineffective"
+    );
+}
+
+#[test]
+fn concatenated_level_batching_matches_per_node_processing() {
+    // The batched (concatenated) path must derive the same splits as the
+    // per-node data-parallel path — only the communication schedule and
+    // memory budget differ.
+    let records = generate(8_000, GeneratorConfig::default());
+    let cfg = test_config();
+    let build = |strategy| {
+        let farm = DiskFarm::in_memory(4);
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::new(4);
+        train(&cluster, &farm, &root, &cfg, strategy)
+    };
+    let per_node = build(Strategy::DataParallel);
+    let batched = build(Strategy::Concatenated);
+    assert_eq!(
+        per_node.tree.render(),
+        batched.tree.render(),
+        "concatenated processing changed the tree"
+    );
+    // The level shares one memory budget under concatenated processing, so
+    // chunks shrink and I/O request counts grow — the paper's objection to
+    // concatenated parallelism for out-of-core work.
+    let io_per_node = per_node.run.total_counters().disk_reads;
+    let io_batched = batched.run.total_counters().disk_reads;
+    assert!(
+        io_batched >= io_per_node,
+        "batched reads {io_batched} < per-node reads {io_per_node}"
+    );
+}
+
+#[test]
+fn interval_based_matches_attribute_based() {
+    // Both boundary-evaluation approaches of the replication method combine
+    // the same global statistics — only who evaluates which gini differs —
+    // so the tree must be identical.
+    use pdc_pclouds::BoundaryEval;
+    let records = generate(8_000, GeneratorConfig::default());
+    let mut cfg = test_config();
+    let build = |cfg: &PcloudsConfig, p: usize| {
+        let farm = DiskFarm::in_memory(p);
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::new(p);
+        train(&cluster, &farm, &root, cfg, Strategy::Mixed)
+    };
+    let attr = build(&cfg, 4);
+    cfg.boundary_eval = BoundaryEval::IntervalBased;
+    for p in [1usize, 3, 4, 16] {
+        let interval = build(&cfg, p);
+        assert_eq!(
+            attr.tree.render(),
+            interval.tree.render(),
+            "interval-based tree differs at p={p}"
+        );
+    }
+    // With p = 16 > 9 attributes, the attribute-based approach leaves 7
+    // processors without boundary work; the interval-based approach keeps
+    // everyone busy. Compare the balance of the derive phase.
+    cfg.boundary_eval = BoundaryEval::AttributeBased;
+    let attr16 = build(&cfg, 16);
+    cfg.boundary_eval = BoundaryEval::IntervalBased;
+    let int16 = build(&cfg, 16);
+    let spread = |out: &pdc_pclouds::TrainOutput| {
+        let times: Vec<f64> = out.metrics.iter().map(|m| m.time_derive).collect();
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    };
+    // Not asserting a strict ordering (comm costs shift too); both must at
+    // least complete and stay deterministic.
+    assert!(spread(&attr16).is_finite());
+    assert!(spread(&int16).is_finite());
+}

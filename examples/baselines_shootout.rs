@@ -1,0 +1,73 @@
+//! Classifier shoot-out: pCLOUDS (SSE) against the exact comparators —
+//! SPRINT (pre-sorted attribute lists) and the direct in-core gini tree —
+//! on several classification functions.
+//!
+//! ```sh
+//! cargo run --release --example baselines_shootout
+//! ```
+
+use pdc_baselines::{build_tree_direct, build_tree_sliq, build_tree_sprint};
+use pdc_clouds::{accuracy, mdl_prune, CloudsParams, MdlParams};
+use pdc_datagen::{generate, train_test_split, ClassifyFn, GeneratorConfig};
+use pdc_pclouds::{train_in_memory, PcloudsConfig};
+
+fn main() {
+    let params = CloudsParams {
+        q_root: 500,
+        sample_size: 5_000,
+        ..CloudsParams::default()
+    };
+    println!(
+        "{:<10} {:<14} {:>10} {:>8} {:>7}",
+        "function", "classifier", "accuracy", "leaves", "depth"
+    );
+    for f in [ClassifyFn::F2, ClassifyFn::F6, ClassifyFn::F7, ClassifyFn::F10] {
+        let records = generate(
+            30_000,
+            GeneratorConfig {
+                function: f,
+                noise: 0.03,
+                ..GeneratorConfig::default()
+            },
+        );
+        let (train_set, test_set) = train_test_split(records, 0.8);
+
+        let report = |name: &str, mut tree: pdc_clouds::DecisionTree| {
+            mdl_prune(&mut tree, &MdlParams::default());
+            println!(
+                "F{:<9} {:<14} {:>10.4} {:>8} {:>7}",
+                f.index(),
+                name,
+                accuracy(&tree, &test_set),
+                tree.num_leaves(),
+                tree.depth()
+            );
+        };
+
+        let pclouds = train_in_memory(
+            &train_set,
+            8,
+            &PcloudsConfig {
+                clouds: params.clone(),
+                ..PcloudsConfig::default()
+            },
+        );
+        report("pclouds-sse", pclouds.tree);
+
+        let (sprint_tree, sprint_stats) = build_tree_sprint(&train_set, &params);
+        report("sprint", sprint_tree);
+
+        let (sliq_tree, sliq_stats) = build_tree_sliq(&train_set, &params);
+        report("sliq", sliq_tree);
+
+        report("direct", build_tree_direct(&train_set, &params));
+
+        println!(
+            "           (sprint: {} presort cmps, {} list moves; sliq: {} class-list entries, {} levels)",
+            sprint_stats.presort_comparisons,
+            sprint_stats.list_moves,
+            sliq_stats.class_list_entries,
+            sliq_stats.levels
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: train a pCLOUDS decision tree on a simulated 8-processor
+//! machine and evaluate it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pdc_clouds::{accuracy, confusion_matrix, mdl_prune, CloudsParams, MdlParams};
+use pdc_datagen::{generate, train_test_split, ClassifyFn, GeneratorConfig};
+use pdc_pclouds::{train_in_memory, PcloudsConfig};
+
+fn main() {
+    // 1. Synthetic benchmark data: the Agrawal et al. generator the paper
+    //    uses, classification function 2.
+    let records = generate(
+        40_000,
+        GeneratorConfig {
+            function: ClassifyFn::F2,
+            noise: 0.02,
+            ..GeneratorConfig::default()
+        },
+    );
+    let (train_set, test_set) = train_test_split(records, 0.8);
+    println!("training on {} records, testing on {}", train_set.len(), test_set.len());
+
+    // 2. Train on a simulated 8-processor shared-nothing machine with the
+    //    mixed (data + delayed task) parallelism strategy.
+    let config = PcloudsConfig {
+        clouds: CloudsParams {
+            q_root: 500,
+            sample_size: 5_000,
+            ..CloudsParams::default()
+        },
+        ..PcloudsConfig::default()
+    };
+    let mut out = train_in_memory(&train_set, 8, &config);
+    println!(
+        "parallel runtime (simulated): {:.3}s across {} large + {} small nodes",
+        out.runtime(),
+        out.run.results[0].large_tasks,
+        out.run.results[0].small_tasks,
+    );
+
+    // 3. MDL pruning.
+    let before = out.tree.num_leaves();
+    let pruned = mdl_prune(&mut out.tree, &MdlParams::default());
+    println!("pruned {pruned} subtrees: {before} -> {} leaves", out.tree.num_leaves());
+
+    // 4. Evaluate.
+    let acc = accuracy(&out.tree, &test_set);
+    let cm = confusion_matrix(&out.tree, &test_set);
+    println!("test accuracy: {acc:.4}");
+    println!("confusion matrix (rows = actual): {cm:?}");
+
+    // 5. Look at the tree.
+    println!("\ndecision tree:\n{}", out.tree.render());
+}

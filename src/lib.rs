@@ -1,0 +1,6 @@
+//! Workspace root of the pCLOUDS reproduction: hosts the cross-crate
+//! integration tests (`tests/`) and the runnable examples (`examples/`).
+//! The actual library surface lives in the `crates/` members; the most
+//! common entry point is re-exported here for convenience.
+
+pub use pdc_pclouds as pclouds;

@@ -1,0 +1,156 @@
+//! Workspace-level integration tests spanning every crate: the full
+//! pipeline (generator → disk farm → simulated cluster → pCLOUDS → pruning
+//! → evaluation) plus the paper's statistical load-balance argument.
+
+use pdc_cgm::Cluster;
+use pdc_clouds::{accuracy, mdl_prune, CloudsParams, MdlParams};
+use pdc_datagen::{generate, train_test_split, GeneratorConfig};
+use pdc_dnc::Strategy;
+use pdc_pario::{BackendKind, DiskFarm};
+use pdc_pclouds::{load_dataset, load_dataset_stream, train, PcloudsConfig};
+
+fn config() -> PcloudsConfig {
+    PcloudsConfig {
+        clouds: CloudsParams {
+            q_root: 200,
+            sample_size: 2_000,
+            ..CloudsParams::default()
+        },
+        memory_limit_bytes: 64 * 1024,
+        switch_threshold_intervals: 10,
+        ..PcloudsConfig::default()
+    }
+}
+
+/// The complete workflow of the README, on the in-memory backend.
+#[test]
+fn full_pipeline_in_memory() {
+    let records = generate(15_000, GeneratorConfig::default());
+    let (train_set, test_set) = train_test_split(records, 0.8);
+    let p = 8;
+    let cfg = config();
+    let farm = DiskFarm::in_memory(p);
+    let root = load_dataset(&farm, &train_set, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+    assert_eq!(root.n(), train_set.len() as u64);
+    let cluster = Cluster::new(p);
+    let mut out = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
+    mdl_prune(&mut out.tree, &MdlParams::default());
+    let acc = accuracy(&out.tree, &test_set);
+    assert!(acc > 0.95, "accuracy {acc}");
+    assert!(out.runtime() > 0.0);
+    // Virtual-time accounting is complete: compute+comm+io+idle = makespan.
+    for s in &out.run.stats {
+        let parts = s.counters.compute_time + s.counters.comm_time + s.counters.io_time
+            + s.idle_time();
+        assert!((parts - s.finish_time).abs() < 1e-6 * s.finish_time.max(1.0));
+    }
+}
+
+/// Same workflow against real scratch files (the OnDisk backend).
+#[test]
+fn full_pipeline_on_real_files() {
+    let scratch = std::env::temp_dir().join(format!("pclouds-e2e-{}", std::process::id()));
+    let records = generate(6_000, GeneratorConfig::default());
+    let cfg = config();
+    let farm = DiskFarm::new(4, BackendKind::OnDisk(scratch.clone()));
+    let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+    let cluster = Cluster::new(4);
+    let out = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
+    assert!(accuracy(&out.tree, &records) > 0.95);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// The streaming loader must agree with the eager loader.
+#[test]
+fn streaming_and_eager_loaders_agree() {
+    let records = generate(5_000, GeneratorConfig::default());
+    let cfg = config();
+    let farm_a = DiskFarm::in_memory(4);
+    let root_a = load_dataset(&farm_a, &records, cfg.clouds.sample_size, 7);
+    let farm_b = DiskFarm::in_memory(4);
+    let root_b = load_dataset_stream(&farm_b, records.iter().copied(), cfg.clouds.sample_size, 7);
+    assert_eq!(root_a.counts, root_b.counts);
+    assert_eq!(root_a.sample, root_b.sample);
+    assert_eq!(farm_a.used_bytes(), farm_b.used_bytes());
+}
+
+/// Theorem 1 / Lemma 2 of the paper: with a random distribution of n
+/// records over p disks, every processor's share of any class-defined
+/// subset stays within the O(sqrt) bound — the statistical basis of data
+/// parallelism's load balance.
+#[test]
+fn lemma2_random_distribution_balances_subsets() {
+    let records = generate(40_000, GeneratorConfig::default());
+    let p = 8;
+    // Round-robin over an i.i.d. stream == random distribution.
+    let mut per_proc_class1 = vec![0u64; p];
+    for (i, r) in records.iter().enumerate() {
+        if r.class == 1 {
+            per_proc_class1[i % p] += 1;
+        }
+    }
+    let m: u64 = per_proc_class1.iter().sum();
+    let mean = m as f64 / p as f64;
+    let slack = 4.0 * (mean * (m as f64).ln()).sqrt() / (p as f64).sqrt() + 16.0;
+    for (rank, &c) in per_proc_class1.iter().enumerate() {
+        assert!(
+            (c as f64 - mean).abs() <= slack,
+            "rank {rank}: {c} vs mean {mean:.1} (slack {slack:.1})"
+        );
+    }
+}
+
+/// The simulated runtime responds to the cost model in the expected
+/// directions: slower disks → longer runtime; faster network → shorter.
+#[test]
+fn cost_model_sensitivity() {
+    use pdc_cgm::MachineConfig;
+    let records = generate(8_000, GeneratorConfig::default());
+    let cfg = config();
+    let run_with = |machine: MachineConfig| {
+        let farm = DiskFarm::in_memory(4);
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::with_config(4, machine);
+        train(&cluster, &farm, &root, &cfg, Strategy::Mixed).runtime()
+    };
+    let base = run_with(MachineConfig::default());
+    let mut slow_disk = MachineConfig::default();
+    slow_disk.cost.disk.bandwidth /= 8.0;
+    slow_disk.cost.disk.cached_bandwidth /= 8.0;
+    assert!(run_with(slow_disk) > base, "slower disks must cost time");
+    let mut slow_net = MachineConfig::default();
+    slow_net.cost.network.alpha *= 50.0;
+    slow_net.cost.network.beta *= 50.0;
+    assert!(run_with(slow_net) > base, "slower network must cost time");
+}
+
+/// Strategies with the same split derivation produce identical trees
+/// (delayed vs immediate task parallelism differ only in *when* small
+/// nodes move, never in *what* is computed); strategies with different
+/// small-node methods (mixed = direct, data-parallel = SSE throughout)
+/// still agree on nearly all predictions.
+#[test]
+fn strategies_agree_on_predictions() {
+    let records = generate(6_000, GeneratorConfig::default());
+    let (train_set, probe) = train_test_split(records, 0.9);
+    let cfg = config();
+    let build = |strategy| {
+        let farm = DiskFarm::in_memory(4);
+        let root = load_dataset(&farm, &train_set, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::new(4);
+        train(&cluster, &farm, &root, &cfg, strategy).tree
+    };
+    let delayed = build(Strategy::Mixed);
+    let immediate = build(Strategy::MixedImmediate);
+    assert_eq!(delayed.render(), immediate.render(), "delaying must not change the tree");
+    let data_parallel = build(Strategy::DataParallel);
+    let disagreements = probe
+        .iter()
+        .filter(|r| delayed.predict(r) != data_parallel.predict(r))
+        .count();
+    assert!(
+        (disagreements as f64) < 0.05 * probe.len() as f64,
+        "{disagreements}/{} predictions differ between mixed and data-parallel",
+        probe.len()
+    );
+}
