@@ -1,7 +1,7 @@
 //! Shared machinery of the figure/table harnesses: workload scaling,
 //! pCLOUDS experiment runs, text/CSV table output and model fitting.
 
-use pdc_cgm::{Cluster, MachineConfig};
+use pdc_cgm::{Cluster, FaultPlan, MachineConfig};
 use pdc_clouds::CloudsParams;
 use pdc_datagen::{GeneratorConfig, RecordStream};
 use pdc_dnc::Strategy;
@@ -66,6 +66,42 @@ pub fn run_pclouds(n: u64, p: usize, scale: Scale, strategy: Strategy) -> TrainO
         config.clouds.sample_seed,
     );
     let cluster = Cluster::with_config(p, machine_config(scale));
+    train(&cluster, &farm, &root, &config, strategy)
+}
+
+/// [`run_pclouds`] on a machine with the given [`FaultPlan`], optionally
+/// with fault-aware small-task recovery (speed-weighted LPT + task retry,
+/// see [`pdc_dnc::DncOptions`]). `switch_threshold` overrides the
+/// data-to-task-parallelism switch point (in intervals; `None` keeps the
+/// paper's value of ten) — the fault ablation raises it so the small-node
+/// phase recovery acts on carries a meaningful share of the runtime. With
+/// an inert plan and `recover` off this is bit-identical to
+/// [`run_pclouds`].
+pub fn run_pclouds_faulty(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    faults: FaultPlan,
+    recover: bool,
+    switch_threshold: Option<usize>,
+) -> TrainOutput {
+    let mut config = experiment_config(n, scale);
+    config.recover_small_tasks = recover;
+    if let Some(t) = switch_threshold {
+        config.switch_threshold_intervals = t;
+    }
+    let stream = RecordStream::new(GeneratorConfig::default()).take(n as usize);
+    let farm = DiskFarm::in_memory(p);
+    let root = load_dataset_stream(
+        &farm,
+        stream,
+        config.clouds.sample_size,
+        config.clouds.sample_seed,
+    );
+    let mut machine = machine_config(scale);
+    machine.faults = faults;
+    let cluster = Cluster::with_config(p, machine);
     train(&cluster, &farm, &root, &config, strategy)
 }
 

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use crate::cost::CostModel;
 use crate::counters::ProcStats;
+use crate::fault::FaultPlan;
 use crate::mailbox::Mailbox;
 use crate::proc::{Proc, SharedMachine};
 
@@ -18,6 +19,9 @@ pub struct MachineConfig {
     pub recv_timeout: Duration,
     /// Record a per-processor event trace (see [`crate::trace`]).
     pub trace: bool,
+    /// Deterministic fault-injection plan (see [`crate::fault`]); the
+    /// default plan is inert and changes nothing.
+    pub faults: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -26,6 +30,7 @@ impl Default for MachineConfig {
             cost: CostModel::default(),
             recv_timeout: Duration::from_secs(120),
             trace: false,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -111,6 +116,8 @@ impl Cluster {
             mailboxes: (0..self.nprocs).map(|_| Mailbox::new()).collect(),
             recv_timeout: self.config.recv_timeout,
             trace: self.config.trace,
+            faults: self.config.faults.clone(),
+            faults_inert: self.config.faults.is_inert(),
         });
         let f = &f;
         let mut out: Vec<Option<(T, ProcStats)>> = (0..self.nprocs).map(|_| None).collect();

@@ -14,6 +14,7 @@
 //! functions must be associative and commutative — combination order is
 //! deterministic for a given `p` but is not the rank order.
 
+use crate::fault::FaultError;
 use crate::proc::{Proc, RESERVED_TAG_BASE};
 use crate::topology::{is_pow2, log2ceil, partner};
 use crate::wire::Wire;
@@ -26,6 +27,10 @@ const TAG_SCAN: u32 = RESERVED_TAG_BASE + 4;
 const TAG_GATHER: u32 = RESERVED_TAG_BASE + 5;
 const TAG_ALLGATHER: u32 = RESERVED_TAG_BASE + 6;
 const TAG_ALLTOALL: u32 = RESERVED_TAG_BASE + 7;
+const TAG_TRY_BARRIER: u32 = RESERVED_TAG_BASE + 8;
+const TAG_TRY_BCAST: u32 = RESERVED_TAG_BASE + 9;
+const TAG_TRY_REDUCE: u32 = RESERVED_TAG_BASE + 10;
+const TAG_TRY_ALLREDUCE: u32 = RESERVED_TAG_BASE + 11;
 
 impl Proc {
     /// Relative rank with respect to `root` (tree algorithms are written for
@@ -387,5 +392,242 @@ impl Proc {
             .into_iter()
             .map(|s| s.expect("missing all_to_all slot"))
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-aware collectives
+    // ------------------------------------------------------------------
+    //
+    // Under fault injection a permanently failed send would leave the plain
+    // collectives hanging (and the deadlock detector panicking). The try_*
+    // variants run the same schedules but *propagate* a failure as poison
+    // tombstones along every remaining edge, so all ranks unblock and the
+    // fault surfaces as an `Err` instead. A rank returns `Err` when it
+    // either suffered a fault itself or consumed poison — in the tree-based
+    // collectives this reaches every rank, in the recursive-doubling ones
+    // poison doubles per step and also reaches every rank.
+
+    /// Fault-aware [`Proc::barrier`]: synchronizes whoever can still
+    /// communicate and surfaces an error instead of hanging when a link
+    /// fails permanently.
+    pub fn try_barrier(&mut self) -> Result<(), FaultError> {
+        let p = self.nprocs();
+        if p == 1 {
+            return Ok(());
+        }
+        let rounds = log2ceil(p);
+        let mut fault: Option<FaultError> = None;
+        for r in 0..rounds {
+            let d = 1usize << r;
+            let to = (self.rank() + d) % p;
+            let from = (self.rank() + p - d) % p;
+            let tag = TAG_TRY_BARRIER + (r << 8);
+            if fault.is_some() {
+                self.send_poison(to, tag);
+            } else if let Err(e) = self.try_send_bytes(to, tag, Vec::new()) {
+                fault = Some(e);
+            }
+            if let Err(e) = self.try_recv_bytes(from, tag) {
+                fault.get_or_insert(e);
+            }
+        }
+        match fault {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Fault-aware [`Proc::broadcast`]. The root still knows the value on
+    /// failure but returns `Err` like everyone else, so all ranks agree on
+    /// whether the broadcast completed.
+    pub fn try_broadcast<T: Wire>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T, FaultError> {
+        let p = self.nprocs();
+        let rel = self.rel(root);
+        if rel == 0 {
+            let v = value.expect("broadcast root must supply a value");
+            if p == 1 {
+                return Ok(v);
+            }
+            let bytes = v.to_bytes();
+            match self.try_bcast_down(root, Some(&bytes)) {
+                None => Ok(v),
+                Some(e) => Err(e),
+            }
+        } else {
+            assert!(value.is_none(), "non-root rank passed a broadcast value");
+            let bytes = self.try_bcast_recv_forward(root)?;
+            Ok(T::from_bytes(&bytes).expect("broadcast decode"))
+        }
+    }
+
+    /// Root side of the fault-aware broadcast tree: send `bytes` (or poison
+    /// when `None`) to each child. Returns the first fault, if any.
+    fn try_bcast_down(&mut self, root: usize, bytes: Option<&[u8]>) -> Option<FaultError> {
+        let p = self.nprocs();
+        let d = log2ceil(p);
+        let mut fault: Option<FaultError> = None;
+        for i in (0..d).rev() {
+            let mask = 1usize << i;
+            if mask < p {
+                let dst = self.abs(mask, root);
+                let tag = TAG_TRY_BCAST + (i << 8);
+                match bytes {
+                    Some(b) if fault.is_none() => {
+                        if let Err(e) = self.try_send_bytes(dst, tag, b.to_vec()) {
+                            fault = Some(e);
+                        }
+                    }
+                    _ => self.send_poison(dst, tag),
+                }
+            }
+        }
+        fault
+    }
+
+    /// Non-root side of the fault-aware broadcast tree: receive once, then
+    /// forward the payload (or poison) to each subtree child.
+    fn try_bcast_recv_forward(&mut self, root: usize) -> Result<Vec<u8>, FaultError> {
+        let p = self.nprocs();
+        let rel = self.rel(root);
+        let d = log2ceil(p);
+        let mut received: Option<Result<Vec<u8>, FaultError>> = None;
+        for i in (0..d).rev() {
+            let mask = 1usize << i;
+            if rel & (mask - 1) != 0 {
+                continue;
+            }
+            if rel & mask != 0 {
+                if received.is_none() {
+                    let src = self.abs(rel & !mask, root);
+                    received = Some(self.try_recv_bytes(src, TAG_TRY_BCAST + (i << 8)));
+                }
+            } else if let Some(state) = &received {
+                let peer_rel = rel | mask;
+                if peer_rel < p {
+                    let dst = self.abs(peer_rel, root);
+                    let tag = TAG_TRY_BCAST + (i << 8);
+                    match state {
+                        Ok(bytes) => {
+                            let b = bytes.clone();
+                            if let Err(e) = self.try_send_bytes(dst, tag, b) {
+                                received = Some(Err(e));
+                            }
+                        }
+                        Err(_) => self.send_poison(dst, tag),
+                    }
+                }
+            }
+        }
+        received.expect("broadcast: non-root received nothing")
+    }
+
+    /// Fault-aware [`Proc::reduce`]. Returns `Ok(Some(result))` on `root`,
+    /// `Ok(None)` on other ranks, or `Err` when this rank faulted or
+    /// consumed poison (a poisoned partial is forwarded up the tree so the
+    /// root learns of the failure).
+    pub fn try_reduce<T: Wire>(
+        &mut self,
+        root: usize,
+        value: T,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<Option<T>, FaultError> {
+        let p = self.nprocs();
+        if p == 1 {
+            return Ok(Some(value));
+        }
+        let rel = self.rel(root);
+        let d = log2ceil(p);
+        let mut acc: Result<T, FaultError> = Ok(value);
+        for i in 0..d {
+            let mask = 1usize << i;
+            let tag = TAG_TRY_REDUCE + (i << 8);
+            if rel & mask != 0 {
+                let dst = self.abs(rel & !mask, root);
+                return match acc {
+                    Ok(v) => {
+                        self.try_send(dst, tag, &v)?;
+                        Ok(None)
+                    }
+                    Err(e) => {
+                        self.send_poison(dst, tag);
+                        Err(e)
+                    }
+                };
+            }
+            let peer_rel = rel | mask;
+            if peer_rel < p {
+                let src = self.abs(peer_rel, root);
+                let other = self.try_recv::<T>(src, tag);
+                acc = match (acc, other) {
+                    (Ok(a), Ok(b)) => Ok(combine(a, b)),
+                    (Err(e), _) | (Ok(_), Err(e)) => Err(e),
+                };
+            }
+        }
+        debug_assert_eq!(rel, 0);
+        acc.map(Some)
+    }
+
+    /// Fault-aware [`Proc::allreduce`]: surfaces `Err` on every rank when a
+    /// link fails permanently (poison propagates through the recursive
+    /// doubling / the reduce-broadcast pair), instead of hanging.
+    pub fn try_allreduce<T: Wire>(
+        &mut self,
+        value: T,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<T, FaultError> {
+        let p = self.nprocs();
+        if p == 1 {
+            return Ok(value);
+        }
+        if is_pow2(p) {
+            let d = log2ceil(p);
+            let mut acc: Result<T, FaultError> = Ok(value);
+            for i in 0..d {
+                let peer = partner(self.rank(), i);
+                let tag = TAG_TRY_ALLREDUCE + (i << 8);
+                let sent = match &acc {
+                    Ok(v) => self.try_send(peer, tag, v),
+                    Err(_) => {
+                        self.send_poison(peer, tag);
+                        Ok(())
+                    }
+                };
+                let other = self.try_recv::<T>(peer, tag);
+                acc = match (acc, sent, other) {
+                    (Ok(a), Ok(()), Ok(b)) => Ok(if self.rank() < peer {
+                        combine(a, b)
+                    } else {
+                        combine(b, a)
+                    }),
+                    (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => Err(e),
+                };
+            }
+            acc
+        } else {
+            // Reduce to 0 then broadcast; a failure anywhere poisons the
+            // root, which then poisons everyone.
+            let reduced = self.try_reduce(0, value, combine);
+            if self.rel(0) == 0 {
+                match reduced {
+                    Ok(Some(v)) => self.try_broadcast(0, Some(v)),
+                    Ok(None) => unreachable!("root always holds the reduction"),
+                    Err(e) => {
+                        self.try_bcast_down(0, None);
+                        Err(e)
+                    }
+                }
+            } else {
+                let bc = self.try_broadcast::<T>(0, None);
+                match (reduced, bc) {
+                    (Ok(_), Ok(v)) => Ok(v),
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                }
+            }
+        }
     }
 }

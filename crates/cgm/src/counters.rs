@@ -25,6 +25,14 @@ pub struct Counters {
     pub disk_writes: u64,
     /// Bytes written to the local disk.
     pub disk_write_bytes: u64,
+    /// Transmission attempts dropped by fault injection and retransmitted.
+    pub link_retries: u64,
+    /// Delivered messages that were delayed in flight by fault injection.
+    pub link_delays: u64,
+    /// Sends that failed permanently (all retransmissions dropped).
+    pub link_failures: u64,
+    /// Transient disk read errors retried by fault injection.
+    pub disk_retries: u64,
     /// Virtual seconds spent computing.
     pub compute_time: f64,
     /// Virtual seconds spent in communication (send cost + wait-for-message).
@@ -58,6 +66,10 @@ impl Counters {
         self.disk_read_bytes += other.disk_read_bytes;
         self.disk_writes += other.disk_writes;
         self.disk_write_bytes += other.disk_write_bytes;
+        self.link_retries += other.link_retries;
+        self.link_delays += other.link_delays;
+        self.link_failures += other.link_failures;
+        self.disk_retries += other.disk_retries;
         self.compute_time += other.compute_time;
         self.comm_time += other.comm_time;
         self.io_time += other.io_time;

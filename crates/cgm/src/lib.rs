@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod collectives;
 pub mod cost;
 pub mod counters;
+pub mod fault;
 pub mod group;
 pub mod mailbox;
 pub mod proc;
@@ -52,6 +53,7 @@ pub mod wire;
 pub use cluster::{Cluster, MachineConfig, RunOutput};
 pub use cost::{CacheParams, ComputeRates, CostModel, DiskParams, NetworkParams, OpKind};
 pub use counters::{Counters, ProcStats};
+pub use fault::{DegradedWindow, DiskFaults, FaultError, FaultPlan, LinkFaults};
 pub use group::Group;
 pub use proc::Proc;
 pub use wire::{DecodeError, Wire};

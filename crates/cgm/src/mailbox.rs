@@ -19,8 +19,13 @@ pub struct Message {
     /// Encoded payload.
     pub payload: Vec<u8>,
     /// Virtual time at which the message is fully available at the receiver
-    /// (sender's clock after being charged `alpha + beta * len`).
+    /// (sender's clock after being charged `alpha + beta * len`, plus any
+    /// injected in-flight delay).
     pub arrive_time: f64,
+    /// Poison marker: the sender suffered a permanent fault and delivered
+    /// this tombstone instead of a payload so the receiver does not hang.
+    /// See [`crate::fault`].
+    pub poisoned: bool,
 }
 
 /// One processor's incoming-message queue.
@@ -96,6 +101,7 @@ mod tests {
             tag,
             payload: vec![byte],
             arrive_time: 0.0,
+            poisoned: false,
         }
     }
 

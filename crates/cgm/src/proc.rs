@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use crate::cost::{CostModel, OpKind};
 use crate::counters::Counters;
+use crate::fault::{FaultError, FaultPlan, STREAM_DISK_READ, STREAM_LINK_DELAY, STREAM_LINK_DROP};
 use crate::mailbox::{Mailbox, Message};
 use crate::trace::{EventKind, TraceEvent};
 use crate::wire::Wire;
@@ -38,6 +39,12 @@ pub struct SharedMachine {
     pub recv_timeout: Duration,
     /// Whether processors record event traces.
     pub trace: bool,
+    /// Deterministic fault-injection plan (see [`crate::fault`]).
+    pub faults: FaultPlan,
+    /// Precomputed [`FaultPlan::is_inert`]: when true, every fault code
+    /// path is skipped and virtual times are bit-identical to a machine
+    /// without fault injection.
+    pub faults_inert: bool,
 }
 
 /// Handle to one virtual processor, passed to the SPMD closure.
@@ -50,11 +57,22 @@ pub struct Proc {
     /// record domain-specific totals through helper methods).
     pub counters: Counters,
     trace: Vec<TraceEvent>,
+    /// This rank's straggler multiplier (1.0 when healthy / faults inert).
+    skew: f64,
+    /// Per-destination message sequence numbers (fault-decision streams).
+    link_seq: Vec<u64>,
+    /// Local-disk request sequence number (fault-decision stream).
+    disk_seq: u64,
 }
 
 impl Proc {
     /// Internal constructor used by the cluster driver.
     pub(crate) fn new(rank: usize, nprocs: usize, shared: Arc<SharedMachine>) -> Self {
+        let skew = if shared.faults_inert {
+            1.0
+        } else {
+            shared.faults.skew_of(rank)
+        };
         Proc {
             rank,
             nprocs,
@@ -62,6 +80,9 @@ impl Proc {
             shared,
             counters: Counters::default(),
             trace: Vec::new(),
+            skew,
+            link_seq: vec![0; nprocs],
+            disk_seq: 0,
         }
     }
 
@@ -85,6 +106,27 @@ impl Proc {
         &self.shared.cost
     }
 
+    /// The machine's fault plan (inert by default; see [`crate::fault`]).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.shared.faults
+    }
+
+    /// This rank's straggler multiplier (1.0 = healthy full speed). Charged
+    /// compute and disk time is scaled by this factor.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Straggler-scale `secs` (identity when healthy, preserving zero-fault
+    /// bit-identity).
+    fn scaled(&self, secs: f64) -> f64 {
+        if self.skew != 1.0 {
+            secs * self.skew
+        } else {
+            secs
+        }
+    }
+
     // ------------------------------------------------------------------
     // Charging
     // ------------------------------------------------------------------
@@ -96,10 +138,11 @@ impl Proc {
         self.counters.compute_time += seconds;
     }
 
-    /// Charge `count` operations of `kind`.
+    /// Charge `count` operations of `kind`. Straggler skew (see
+    /// [`crate::fault::FaultPlan::skew`]) scales the charge.
     pub fn charge(&mut self, kind: OpKind, count: u64) {
         self.counters.add_ops(kind, count);
-        let secs = self.shared.cost.compute_cost(kind, count);
+        let secs = self.scaled(self.shared.cost.compute_cost(kind, count));
         self.clock += secs;
         self.counters.compute_time += secs;
         self.trace_event(EventKind::Compute { kind, count, seconds: secs });
@@ -115,10 +158,11 @@ impl Proc {
     /// `working_set_bytes` (cache-adjusted: charges less when it fits).
     pub fn charge_ws(&mut self, kind: OpKind, count: u64, working_set_bytes: usize) {
         self.counters.add_ops(kind, count);
-        let secs = self
-            .shared
-            .cost
-            .compute_cost_ws(kind, count, working_set_bytes);
+        let secs = self.scaled(
+            self.shared
+                .cost
+                .compute_cost_ws(kind, count, working_set_bytes),
+        );
         self.clock += secs;
         self.counters.compute_time += secs;
         self.trace_event(EventKind::Compute { kind, count, seconds: secs });
@@ -132,13 +176,54 @@ impl Proc {
 
     /// Charge one read of `bytes` from a file of `working_set_bytes`
     /// (buffer-cache aware: cheap when the file fits the node cache).
+    /// Panics if fault injection makes the read fail permanently — use
+    /// [`Proc::try_disk_read_ws`] in fault-aware code.
     pub fn disk_read_ws(&mut self, bytes: usize, working_set_bytes: usize) {
-        let secs = self.shared.cost.disk.transfer_cost_ws(bytes, working_set_bytes);
+        self.try_disk_read_ws(bytes, working_set_bytes)
+            .unwrap_or_else(|e| {
+                panic!("cgm: rank {} unrecoverable disk read: {e}", self.rank)
+            });
+    }
+
+    /// Fault-aware variant of [`Proc::disk_read_ws`]: transient read errors
+    /// are retried (each failed attempt charges
+    /// [`crate::fault::DiskFaults::retry_penalty`]); when all attempts fail
+    /// the read surfaces [`FaultError::Disk`]. With an inert fault plan this
+    /// is exactly `disk_read_ws` and always succeeds.
+    pub fn try_disk_read_ws(
+        &mut self,
+        bytes: usize,
+        working_set_bytes: usize,
+    ) -> Result<(), FaultError> {
+        if !self.shared.faults_inert && self.shared.faults.disk.read_error_prob > 0.0 {
+            let seq = self.disk_seq;
+            self.disk_seq += 1;
+            let prob = self.shared.faults.disk.read_error_prob;
+            let max_retries = self.shared.faults.disk.max_retries;
+            let mut attempt: u32 = 0;
+            loop {
+                let stream = [STREAM_DISK_READ, self.rank as u64, seq, attempt as u64];
+                if !self.shared.faults.decide(&stream, prob) {
+                    break;
+                }
+                let penalty = self.scaled(self.shared.faults.disk.retry_penalty);
+                self.clock += penalty;
+                self.counters.io_time += penalty;
+                self.counters.disk_retries += 1;
+                self.trace_event(EventKind::Fault { kind: "disk-error", seconds: penalty });
+                if attempt >= max_retries {
+                    return Err(FaultError::Disk { rank: self.rank });
+                }
+                attempt += 1;
+            }
+        }
+        let secs = self.disk_secs(bytes, working_set_bytes);
         self.clock += secs;
         self.counters.io_time += secs;
         self.counters.disk_reads += 1;
         self.counters.disk_read_bytes += bytes as u64;
         self.trace_event(EventKind::Disk { read: true, bytes, seconds: secs });
+        Ok(())
     }
 
     /// Charge one local-disk write request of `bytes`.
@@ -147,9 +232,11 @@ impl Proc {
     }
 
     /// Charge one write of `bytes` to a file of `working_set_bytes`
-    /// (write-back buffer cache when the file fits).
+    /// (write-back buffer cache when the file fits). Writes see degraded
+    /// bandwidth and straggler skew but no transient errors (the write-back
+    /// cache absorbs them).
     pub fn disk_write_ws(&mut self, bytes: usize, working_set_bytes: usize) {
-        let secs = self.shared.cost.disk.transfer_cost_ws(bytes, working_set_bytes);
+        let secs = self.disk_secs(bytes, working_set_bytes);
         self.clock += secs;
         self.counters.io_time += secs;
         self.counters.disk_writes += 1;
@@ -157,33 +244,167 @@ impl Proc {
         self.trace_event(EventKind::Disk { read: false, bytes, seconds: secs });
     }
 
+    /// Transfer seconds for one disk request, with degraded-bandwidth
+    /// windows and straggler skew applied when the fault plan is active.
+    fn disk_secs(&self, bytes: usize, working_set_bytes: usize) -> f64 {
+        let mut secs = self.shared.cost.disk.transfer_cost_ws(bytes, working_set_bytes);
+        if !self.shared.faults_inert {
+            let slowdown = self.shared.faults.disk_slowdown_at(self.clock);
+            if slowdown != 1.0 {
+                secs *= slowdown;
+            }
+            secs = self.scaled(secs);
+        }
+        secs
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point communication
     // ------------------------------------------------------------------
 
     /// Send already-encoded bytes to `dst` with `tag` (blocking-send cost
-    /// semantics: the sender is charged `alpha + beta * len`).
+    /// semantics: the sender is charged `alpha + beta * len`). Panics if
+    /// fault injection makes the send fail permanently — use
+    /// [`Proc::try_send_bytes`] in fault-aware code.
     pub fn send_bytes(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        self.try_send_bytes(dst, tag, payload).unwrap_or_else(|e| {
+            panic!(
+                "cgm: rank {} send to {dst} tag {tag:#x} failed: {e}",
+                self.rank
+            )
+        });
+    }
+
+    /// Fault-aware send. Dropped transmission attempts are retransmitted
+    /// (each charging the message cost plus
+    /// [`crate::fault::LinkFaults::retry_timeout`]); when all attempts drop
+    /// the send fails with [`FaultError::Link`] after delivering a poison
+    /// tombstone so the receiver does not hang. With an inert fault plan
+    /// this is exactly the classic send and always succeeds.
+    pub fn try_send_bytes(
+        &mut self,
+        dst: usize,
+        tag: u32,
+        payload: Vec<u8>,
+    ) -> Result<(), FaultError> {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
         assert_ne!(dst, self.rank, "self-send is not modeled; use local data");
         let cost = self.shared.cost.network.message_cost(payload.len());
+        let link = &self.shared.faults.link;
+        let link_active =
+            !self.shared.faults_inert && (link.drop_prob > 0.0 || link.delay_prob > 0.0);
+        if !link_active {
+            self.clock += cost;
+            self.counters.comm_time += cost;
+            self.counters.messages_sent += 1;
+            self.counters.bytes_sent += payload.len() as u64;
+            self.trace_event(EventKind::Send { dst, tag, bytes: payload.len() });
+            self.shared.mailboxes[dst].push(Message {
+                src: self.rank,
+                tag,
+                payload,
+                arrive_time: self.clock,
+                poisoned: false,
+            });
+            return Ok(());
+        }
+        let (drop_prob, delay_prob, delay_seconds, retry_timeout, max_retries) = (
+            link.drop_prob,
+            link.delay_prob,
+            link.delay_seconds,
+            link.retry_timeout,
+            link.max_retries,
+        );
+        let seq = self.link_seq[dst];
+        self.link_seq[dst] += 1;
+        let (src_w, dst_w) = (self.rank as u64, dst as u64);
+        let mut attempt: u32 = 0;
+        loop {
+            let drop_stream = [STREAM_LINK_DROP, src_w, dst_w, seq, attempt as u64];
+            if self.shared.faults.decide(&drop_stream, drop_prob) {
+                // Lost in flight: the sender transmits, waits out the ack
+                // timeout, then retransmits (or gives up).
+                let penalty = cost + retry_timeout;
+                self.clock += penalty;
+                self.counters.comm_time += penalty;
+                self.trace_event(EventKind::Fault { kind: "link-drop", seconds: penalty });
+                if attempt >= max_retries {
+                    self.counters.link_failures += 1;
+                    self.shared.mailboxes[dst].push(Message {
+                        src: self.rank,
+                        tag,
+                        payload: Vec::new(),
+                        arrive_time: self.clock,
+                        poisoned: true,
+                    });
+                    return Err(FaultError::Link { src: self.rank, dst });
+                }
+                self.counters.link_retries += 1;
+                attempt += 1;
+                continue;
+            }
+            self.clock += cost;
+            self.counters.comm_time += cost;
+            self.counters.messages_sent += 1;
+            self.counters.bytes_sent += payload.len() as u64;
+            self.trace_event(EventKind::Send { dst, tag, bytes: payload.len() });
+            let mut arrive_time = self.clock;
+            let delay_stream = [STREAM_LINK_DELAY, src_w, dst_w, seq, attempt as u64];
+            if self.shared.faults.decide(&delay_stream, delay_prob) {
+                // Delayed in flight: the sender is done, the receiver sees
+                // the message later.
+                arrive_time += delay_seconds;
+                self.counters.link_delays += 1;
+                self.trace_event(EventKind::Fault {
+                    kind: "link-delay",
+                    seconds: delay_seconds,
+                });
+            }
+            self.shared.mailboxes[dst].push(Message {
+                src: self.rank,
+                tag,
+                payload,
+                arrive_time,
+                poisoned: false,
+            });
+            return Ok(());
+        }
+    }
+
+    /// Deliver a poison tombstone to `dst` without any fault modeling —
+    /// collectives use this to propagate an upstream failure so every rank
+    /// unblocks and surfaces an error. Charges the startup cost `alpha`.
+    pub(crate) fn send_poison(&mut self, dst: usize, tag: u32) {
+        let cost = self.shared.cost.network.message_cost(0);
         self.clock += cost;
         self.counters.comm_time += cost;
-        self.counters.messages_sent += 1;
-        self.counters.bytes_sent += payload.len() as u64;
-        self.trace_event(EventKind::Send { dst, tag, bytes: payload.len() });
         self.shared.mailboxes[dst].push(Message {
             src: self.rank,
             tag,
-            payload,
+            payload: Vec::new(),
             arrive_time: self.clock,
+            poisoned: true,
         });
     }
 
     /// Receive raw bytes from `src` with `tag`. The clock advances to the
     /// message's arrival time if that is later (waiting counts as
-    /// communication time).
+    /// communication time). Panics on a poisoned message — use
+    /// [`Proc::try_recv_bytes`] in fault-aware code.
     pub fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        self.try_recv_bytes(src, tag).unwrap_or_else(|e| {
+            panic!(
+                "cgm: rank {} recv from {src} tag {tag:#x} failed: {e}",
+                self.rank
+            )
+        })
+    }
+
+    /// Fault-aware receive: returns [`FaultError::Poisoned`] when the
+    /// matching message is a poison tombstone (the sender failed
+    /// permanently). With an inert fault plan this is exactly the classic
+    /// receive and always succeeds.
+    pub fn try_recv_bytes(&mut self, src: usize, tag: u32) -> Result<Vec<u8>, FaultError> {
         assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
         assert_ne!(src, self.rank, "self-recv is not modeled");
         let msg =
@@ -193,6 +414,10 @@ impl Proc {
             self.counters.comm_time += msg.arrive_time - self.clock;
             self.clock = msg.arrive_time;
         }
+        if msg.poisoned {
+            self.trace_event(EventKind::Fault { kind: "link-drop", seconds: waited });
+            return Err(FaultError::Poisoned { src });
+        }
         self.counters.messages_received += 1;
         self.counters.bytes_received += msg.payload.len() as u64;
         self.trace_event(EventKind::Recv {
@@ -201,12 +426,30 @@ impl Proc {
             bytes: msg.payload.len(),
             waited,
         });
-        msg.payload
+        Ok(msg.payload)
     }
 
     /// Typed send.
     pub fn send<T: Wire>(&mut self, dst: usize, tag: u32, value: &T) {
         self.send_bytes(dst, tag, value.to_bytes());
+    }
+
+    /// Typed fault-aware send (see [`Proc::try_send_bytes`]).
+    pub fn try_send<T: Wire>(&mut self, dst: usize, tag: u32, value: &T) -> Result<(), FaultError> {
+        self.try_send_bytes(dst, tag, value.to_bytes())
+    }
+
+    /// Typed fault-aware receive (see [`Proc::try_recv_bytes`]). Decode
+    /// failures still panic — they indicate a programming error, not an
+    /// injected fault.
+    pub fn try_recv<T: Wire>(&mut self, src: usize, tag: u32) -> Result<T, FaultError> {
+        let bytes = self.try_recv_bytes(src, tag)?;
+        Ok(T::from_bytes(&bytes).unwrap_or_else(|e| {
+            panic!(
+                "cgm: rank {} failed to decode message from {} tag {:#x}: {}",
+                self.rank, src, tag, e
+            )
+        }))
     }
 
     /// Typed receive. Panics on a decode failure (indicates a programming

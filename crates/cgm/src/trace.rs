@@ -58,6 +58,13 @@ pub enum EventKind {
         /// Seconds charged.
         seconds: f64,
     },
+    /// An injected fault charged to this processor (see [`crate::fault`]).
+    Fault {
+        /// Fault kind: `"link-drop"`, `"link-delay"` or `"disk-error"`.
+        kind: &'static str,
+        /// Seconds charged for the retry, timeout or delay.
+        seconds: f64,
+    },
 }
 
 /// Activity classes for timeline summaries.
@@ -111,6 +118,10 @@ pub fn timeline(trace: &[TraceEvent], horizon: f64, buckets: usize) -> String {
             EventKind::Recv { waited, .. } => add(e.time - waited, e.time, 1),
             EventKind::Compute { seconds, .. } => add(e.time - seconds, e.time, 0),
             EventKind::Disk { seconds, .. } => add(e.time - seconds, e.time, 2),
+            EventKind::Fault { kind, seconds } => {
+                let class = if kind.starts_with("disk") { 2 } else { 1 };
+                add(e.time - seconds, e.time, class);
+            }
         }
     }
     acc.iter()

@@ -49,5 +49,5 @@ pub mod scheduler;
 pub mod strategy;
 
 pub use problem::{Outcome, OocProblem, Task};
-pub use scheduler::{assignment_imbalance, lpt_assign};
-pub use strategy::{run, DncReport, Strategy};
+pub use scheduler::{assignment_imbalance, lpt_assign, lpt_assign_weighted};
+pub use strategy::{run, run_with_options, DncOptions, DncReport, Strategy};

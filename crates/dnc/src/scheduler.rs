@@ -26,6 +26,44 @@ pub fn lpt_assign(costs: &[f64], p: usize) -> Vec<usize> {
     owner
 }
 
+/// Speed-aware LPT for heterogeneous (straggling or failed) processors:
+/// tasks are taken in decreasing cost order and each goes to the processor
+/// whose *completion time* `(load + cost) / speed` is smallest. A speed of
+/// `0.0` (or less) marks a failed processor, which receives no tasks; if
+/// every speed is non-positive the assignment falls back to uniform-speed
+/// [`lpt_assign`] so the schedule still covers all tasks. With all speeds
+/// equal this reproduces `lpt_assign` exactly (same tie-breaking), so the
+/// recovery path costs nothing on a healthy machine.
+pub fn lpt_assign_weighted(costs: &[f64], speeds: &[f64]) -> Vec<usize> {
+    let p = speeds.len();
+    assert!(p >= 1);
+    if speeds.iter().all(|&s| s <= 0.0) {
+        return lpt_assign(costs, p);
+    }
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .expect("NaN task cost")
+            .then(a.cmp(&b))
+    });
+    let mut load = vec![0.0f64; p];
+    let mut owner = vec![0usize; costs.len()];
+    for idx in order {
+        let target = (0..p)
+            .filter(|&r| speeds[r] > 0.0)
+            .min_by(|&a, &b| {
+                let fa = (load[a] + costs[idx]) / speeds[a];
+                let fb = (load[b] + costs[idx]) / speeds[b];
+                fa.partial_cmp(&fb).expect("NaN completion time").then(a.cmp(&b))
+            })
+            .expect("at least one live processor");
+        owner[idx] = target;
+        load[target] += costs[idx];
+    }
+    owner
+}
+
 /// Maximum over minimum processor load for an assignment (1.0 = perfectly
 /// balanced). Useful for diagnostics and tests.
 pub fn assignment_imbalance(costs: &[f64], owners: &[usize], p: usize) -> f64 {
@@ -90,6 +128,58 @@ mod tests {
     fn empty_task_list() {
         assert!(lpt_assign(&[], 4).is_empty());
         assert_eq!(assignment_imbalance(&[], &[], 4), 1.0);
+    }
+
+    #[test]
+    fn weighted_matches_uniform_when_speeds_equal() {
+        let costs = vec![10.0, 2.0, 2.0, 5.0, 7.0, 1.0, 2.0];
+        assert_eq!(
+            lpt_assign_weighted(&costs, &[1.0; 3]),
+            lpt_assign(&costs, 3)
+        );
+        assert_eq!(
+            lpt_assign_weighted(&costs, &[2.5; 3]),
+            lpt_assign(&costs, 3),
+            "uniform scaling of speeds must not change the schedule"
+        );
+    }
+
+    #[test]
+    fn failed_processor_receives_nothing() {
+        let costs = vec![4.0, 3.0, 2.0, 1.0, 5.0];
+        let owners = lpt_assign_weighted(&costs, &[1.0, 0.0, 1.0]);
+        assert!(owners.iter().all(|&o| o != 1), "{owners:?}");
+    }
+
+    #[test]
+    fn slow_processor_gets_less_work() {
+        // Rank 1 runs at quarter speed: it should carry roughly a quarter
+        // of the work a full-speed rank carries.
+        let costs = vec![1.0; 40];
+        let speeds = [1.0, 0.25, 1.0, 1.0];
+        let owners = lpt_assign_weighted(&costs, &speeds);
+        let mut load = [0.0f64; 4];
+        for (c, &o) in costs.iter().zip(&owners) {
+            load[o] += c;
+        }
+        assert!(
+            load[1] < load[0] / 2.0,
+            "straggler must be relieved: {load:?}"
+        );
+        // Completion times (load / speed) should be close to balanced.
+        let finish: Vec<f64> = load.iter().zip(&speeds).map(|(l, s)| l / s).collect();
+        let max = finish.iter().cloned().fold(0.0f64, f64::max);
+        let min = finish.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 1.5, "finish times {finish:?}");
+    }
+
+    #[test]
+    fn all_failed_falls_back_to_uniform() {
+        let costs = vec![3.0, 1.0];
+        assert_eq!(
+            lpt_assign_weighted(&costs, &[0.0, 0.0]),
+            lpt_assign(&costs, 2)
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 use pdc_cgm::Proc;
 
 use crate::problem::{Outcome, OocProblem, Task};
-use crate::scheduler::lpt_assign;
+use crate::scheduler::{lpt_assign, lpt_assign_weighted};
 
 /// Which driver to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,8 +52,37 @@ pub struct DncReport {
     pub small_tasks: usize,
     /// Small tasks this processor solved locally.
     pub local_small_tasks: usize,
+    /// Local small-task solves this processor repeated because the fault
+    /// plan spoiled an attempt (always 0 unless
+    /// [`DncOptions::recover_small_tasks`] is on).
+    pub small_task_retries: usize,
     /// Deepest task depth reached.
     pub max_depth: usize,
+}
+
+/// Fault-aware execution knobs (see [`run_with_options`]).
+///
+/// The paper's implementation notes a limitation of its small-node phase:
+/// *"we do not regroup the processors as they become idle."* These options
+/// turn that limitation into a studied extension, using the machine's
+/// deterministic [`pdc_cgm::FaultPlan`] as the failure detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DncOptions {
+    /// Recover the small-task phase from failed or straggling owners:
+    ///
+    /// * **Reassignment/regrouping** — instead of uniform [`lpt_assign`],
+    ///   small tasks are placed with [`lpt_assign_weighted`] using per-rank
+    ///   speeds derived from the machine's fault plan (`1 / skew`, `0` for
+    ///   ranks marked failed), so failed ranks receive no tasks and
+    ///   stragglers receive proportionally less. Every rank derives the
+    ///   same speeds from the same shared plan, so the schedule stays
+    ///   consistent without extra communication.
+    /// * **Retry** — a locally solved task whose attempt the plan spoils
+    ///   (see [`pdc_cgm::FaultPlan::task_fault_prob`]) is re-executed,
+    ///   charging the measured solve time again.
+    ///
+    /// Off (the default), execution is bit-identical to [`run`].
+    pub recover_small_tasks: bool,
 }
 
 /// *Collective.* Build the divide-and-conquer tree for `root_meta` with the
@@ -65,10 +94,24 @@ pub fn run<P: OocProblem>(
     root_meta: P::Meta,
     strategy: Strategy,
 ) -> DncReport {
+    run_with_options(proc, problem, root_meta, strategy, DncOptions::default())
+}
+
+/// *Collective.* Like [`run`], with fault-aware knobs. Recovery applies to
+/// the small-task phase of the mixed strategies; the other strategies
+/// ignore the options (their structure has no per-owner assignment to
+/// reweight).
+pub fn run_with_options<P: OocProblem>(
+    proc: &mut Proc,
+    problem: &P,
+    root_meta: P::Meta,
+    strategy: Strategy,
+    opts: DncOptions,
+) -> DncReport {
     match strategy {
         Strategy::DataParallel => run_data_parallel(proc, problem, root_meta),
-        Strategy::Mixed => run_mixed(proc, problem, root_meta, false),
-        Strategy::MixedImmediate => run_mixed(proc, problem, root_meta, true),
+        Strategy::Mixed => run_mixed(proc, problem, root_meta, false, opts),
+        Strategy::MixedImmediate => run_mixed(proc, problem, root_meta, true, opts),
         Strategy::Concatenated => run_concatenated(proc, problem, root_meta),
         Strategy::TaskParallel => run_task_parallel(proc, problem, root_meta),
     }
@@ -138,6 +181,7 @@ fn run_mixed<P: OocProblem>(
     problem: &P,
     root_meta: P::Meta,
     immediate: bool,
+    opts: DncOptions,
 ) -> DncReport {
     let mut report = DncReport::default();
     let mut queue = VecDeque::new();
@@ -159,7 +203,7 @@ fn run_mixed<P: OocProblem>(
                     if immediate {
                         // Ship and solve right away: more message startups,
                         // used as the ablation against delaying.
-                        dispatch_small(proc, problem, vec![child], &mut report);
+                        dispatch_small(proc, problem, vec![child], &mut report, opts);
                     } else {
                         small.push(child);
                     }
@@ -170,7 +214,7 @@ fn run_mixed<P: OocProblem>(
         }
     }
     if !small.is_empty() {
-        dispatch_small(proc, problem, small, &mut report);
+        dispatch_small(proc, problem, small, &mut report, opts);
     }
     report
 }
@@ -181,21 +225,49 @@ fn dispatch_small<P: OocProblem>(
     problem: &P,
     tasks: Vec<Task<P::Meta>>,
     report: &mut DncReport,
+    opts: DncOptions,
 ) {
     let costs: Vec<f64> = tasks.iter().map(|t| problem.cost(&t.meta)).collect();
-    let owners = lpt_assign(&costs, proc.nprocs());
+    let plan = opts.recover_small_tasks.then(|| proc.faults().clone());
+    let owners = match &plan {
+        Some(plan) => {
+            // Speeds come from the shared fault plan, so every rank derives
+            // the identical schedule without communicating.
+            let speeds: Vec<f64> = (0..proc.nprocs())
+                .map(|r| if plan.is_failed(r) { 0.0 } else { 1.0 / plan.skew_of(r) })
+                .collect();
+            lpt_assign_weighted(&costs, &speeds)
+        }
+        None => lpt_assign(&costs, proc.nprocs()),
+    };
     let assignments: Vec<(Task<P::Meta>, usize)> =
         tasks.into_iter().zip(owners.iter().copied()).collect();
     problem.redistribute_small(proc, &assignments);
     // Local solving: no communication, so processors proceed independently.
-    // Idle processors are NOT regrouped — the paper notes the same
-    // limitation of its implementation ("we do not regroup the processors
-    // as they become idle").
+    // Without recovery, idle processors are NOT regrouped — the paper notes
+    // the same limitation of its implementation ("we do not regroup the
+    // processors as they become idle").
     for (task, owner) in &assignments {
         report.small_tasks += 1;
         if *owner == proc.rank() {
+            let before = proc.clock();
             problem.solve_small_local(proc, task);
             report.local_small_tasks += 1;
+            if let Some(plan) = &plan {
+                // Task retry: a spoiled attempt discards the work and pays
+                // for the solve again. Re-charging the measured solve time
+                // (instead of re-calling the solver) keeps problem-side
+                // effects idempotent. Attempts are capped so a fault
+                // probability of 1.0 cannot loop forever.
+                let elapsed = proc.clock() - before;
+                let seq = (report.local_small_tasks - 1) as u64;
+                let mut attempt = 0u32;
+                while attempt < 16 && plan.task_spoiled(proc.rank(), seq, attempt) {
+                    proc.advance_compute(elapsed);
+                    report.small_task_retries += 1;
+                    attempt += 1;
+                }
+            }
         }
     }
 }

@@ -1,0 +1,178 @@
+//! Fault-aware small-task dispatch: speed-weighted LPT reassignment must
+//! beat the fault-oblivious schedule on a machine with stragglers or
+//! failures, and the recovery path must be bit-identical to the plain path
+//! on a healthy machine.
+
+use pdc_cgm::{Cluster, FaultPlan, MachineConfig, OpKind, Proc};
+use pdc_dnc::{run, run_with_options, DncOptions, Outcome, OocProblem, Strategy, Task};
+
+/// Splits until size < `small_at`; small solves charge compute proportional
+/// to the task size, so schedules show up in the virtual clocks.
+struct Compute {
+    small_at: u64,
+}
+
+impl OocProblem for Compute {
+    type Meta = u64;
+
+    fn cost(&self, meta: &u64) -> f64 {
+        *meta as f64
+    }
+
+    fn is_small(&self, meta: &u64) -> bool {
+        *meta < self.small_at
+    }
+
+    fn process_large(&self, proc: &mut Proc, task: &Task<u64>) -> Outcome<u64> {
+        proc.charge(OpKind::RecordScan, task.meta);
+        proc.barrier();
+        if task.meta <= 1 {
+            Outcome::Solved
+        } else {
+            let left = task.meta * 2 / 3;
+            Outcome::Split(left, task.meta - left)
+        }
+    }
+
+    fn redistribute_one(&self, proc: &mut Proc, task: &Task<u64>, owner: usize) {
+        // Ship the task's records to its owner as one message.
+        let bytes = (task.meta as usize) * 8;
+        if proc.rank() == 0 && owner != 0 {
+            proc.send_bytes(owner, 77, vec![0u8; bytes]);
+        } else if proc.rank() == owner && owner != 0 {
+            let _ = proc.recv_bytes(0, 77);
+        }
+        proc.barrier();
+    }
+
+    fn solve_small_local(&self, proc: &mut Proc, task: &Task<u64>) {
+        proc.charge(OpKind::RecordScan, task.meta * 5_000);
+    }
+}
+
+fn makespan(p: usize, faults: FaultPlan, recover: bool) -> f64 {
+    let cluster = Cluster::with_config(
+        p,
+        MachineConfig {
+            faults,
+            ..MachineConfig::default()
+        },
+    );
+    let problem = Compute { small_at: 40 };
+    let out = cluster.run(|proc| {
+        run_with_options(
+            proc,
+            &problem,
+            400u64,
+            Strategy::Mixed,
+            DncOptions {
+                recover_small_tasks: recover,
+            },
+        )
+    });
+    out.makespan()
+}
+
+#[test]
+fn regrouping_beats_oblivious_lpt_under_straggler_skew() {
+    let mut plan = FaultPlan::with_seed(0);
+    plan.skew = vec![1.0, 6.0, 1.0, 1.0];
+    let oblivious = makespan(4, plan.clone(), false);
+    let recovered = makespan(4, plan, true);
+    assert!(
+        recovered < oblivious,
+        "weighted LPT must relieve the straggler: {recovered} !< {oblivious}"
+    );
+}
+
+#[test]
+fn regrouping_routes_around_a_failed_rank() {
+    let mut plan = FaultPlan::with_seed(0);
+    plan.failed = vec![2];
+    let oblivious = makespan(4, plan.clone(), false);
+    let recovered = makespan(4, plan.clone(), true);
+    assert!(
+        recovered < oblivious / 2.0,
+        "a failed rank (skew {}) must dominate the oblivious schedule: \
+         {recovered} vs {oblivious}",
+        plan.failed_skew
+    );
+
+    // And the failed rank indeed solves nothing when recovery is on.
+    let cluster = Cluster::with_config(
+        4,
+        MachineConfig {
+            faults: plan,
+            ..MachineConfig::default()
+        },
+    );
+    let problem = Compute { small_at: 40 };
+    let out = cluster.run(|proc| {
+        run_with_options(
+            proc,
+            &problem,
+            400u64,
+            Strategy::Mixed,
+            DncOptions {
+                recover_small_tasks: true,
+            },
+        )
+    });
+    assert_eq!(out.results[2].local_small_tasks, 0);
+    assert!(out.results.iter().map(|r| r.local_small_tasks).sum::<usize>() > 0);
+}
+
+#[test]
+fn recovery_is_bit_identical_on_a_healthy_machine() {
+    let problem = Compute { small_at: 40 };
+    let plain = Cluster::new(4).run(|proc| {
+        let report = run(proc, &problem, 400u64, Strategy::Mixed);
+        (report, proc.clock())
+    });
+    let recovering = Cluster::new(4).run(|proc| {
+        let report = run_with_options(
+            proc,
+            &problem,
+            400u64,
+            Strategy::Mixed,
+            DncOptions {
+                recover_small_tasks: true,
+            },
+        );
+        (report, proc.clock())
+    });
+    assert_eq!(plain.results, recovering.results);
+}
+
+#[test]
+fn spoiled_tasks_are_retried_and_charged() {
+    let mut plan = FaultPlan::with_seed(9);
+    plan.task_fault_prob = 0.4;
+    let healthy = makespan(4, FaultPlan::default(), true);
+    let cluster = Cluster::with_config(
+        4,
+        MachineConfig {
+            faults: plan,
+            ..MachineConfig::default()
+        },
+    );
+    let problem = Compute { small_at: 40 };
+    let out = cluster.run(|proc| {
+        run_with_options(
+            proc,
+            &problem,
+            400u64,
+            Strategy::Mixed,
+            DncOptions {
+                recover_small_tasks: true,
+            },
+        )
+    });
+    let retries: usize = out.results.iter().map(|r| r.small_task_retries).sum();
+    assert!(retries > 0, "40% spoil rate must trigger retries");
+    assert!(
+        out.makespan() > healthy,
+        "retries must cost time: {} !> {healthy}",
+        out.makespan()
+    );
+}

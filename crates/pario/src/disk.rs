@@ -165,7 +165,8 @@ impl NodeDisk {
     }
 
     /// Read `count` records starting at index `start` as one read request,
-    /// charging `proc`.
+    /// charging `proc`. Panics if fault injection makes the read fail
+    /// permanently — use [`NodeDisk::try_read_range`] in fault-aware code.
     pub fn read_range<R: Rec>(
         &mut self,
         proc: &mut Proc,
@@ -173,8 +174,26 @@ impl NodeDisk {
         start: usize,
         count: usize,
     ) -> Vec<R> {
+        self.try_read_range(proc, file, start, count)
+            .unwrap_or_else(|e| {
+                panic!("pario: rank {} reading {:?}: {e}", self.rank, file.name)
+            })
+    }
+
+    /// Fault-aware [`NodeDisk::read_range`]: transient read errors from the
+    /// machine's [`pdc_cgm::FaultPlan`] are retried (each retry charging
+    /// the virtual clock); when all attempts fail the error surfaces
+    /// instead of panicking. With an inert fault plan this is exactly
+    /// `read_range` and always succeeds.
+    pub fn try_read_range<R: Rec>(
+        &mut self,
+        proc: &mut Proc,
+        file: &TypedFile<R>,
+        start: usize,
+        count: usize,
+    ) -> Result<Vec<R>, pdc_cgm::FaultError> {
         if count == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let entry = self.entry_mut(file);
         assert!(
@@ -185,11 +204,11 @@ impl NodeDisk {
             file.name
         );
         let nbytes = count * R::ENCODED_BYTES;
-        proc.disk_read_ws(nbytes, entry.records * R::ENCODED_BYTES);
+        proc.try_disk_read_ws(nbytes, entry.records * R::ENCODED_BYTES)?;
         let bytes = entry
             .backend
             .read((start * R::ENCODED_BYTES) as u64, nbytes);
-        decode_batch(&bytes)
+        Ok(decode_batch(&bytes))
     }
 
     /// Read the whole file in one request (callers use this only for files

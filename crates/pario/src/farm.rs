@@ -5,6 +5,13 @@
 //! mutex. There is no contention in a correct shared-nothing program — each
 //! processor only ever locks its own disk — but the mutex keeps the API safe
 //! if a test inspects disks from the outside after a run.
+//!
+//! Fault injection (see [`pdc_cgm::fault`]) acts on the charging side: a
+//! machine with disk faults configured makes [`NodeDisk::read_range`] /
+//! [`NodeDisk::try_read_range`] retry transient errors and slow down inside
+//! degraded-bandwidth windows, charged through the owning processor's
+//! virtual clock. The stored bytes themselves are never corrupted — the
+//! simulator models *time*, not data loss.
 
 use parking_lot::{Mutex, MutexGuard};
 
@@ -69,5 +76,36 @@ mod tests {
             assert_eq!(disk.used_bytes(), 80);
         }
         assert_eq!(farm.used_bytes(), 4 * 80);
+    }
+
+    #[test]
+    fn transient_read_errors_retry_and_charge_through_the_farm() {
+        use pdc_cgm::{FaultPlan, MachineConfig};
+        let p = 2;
+        let farm = DiskFarm::in_memory(p);
+        let mut faults = FaultPlan::with_seed(13);
+        faults.disk.read_error_prob = 0.25;
+        let cluster = Cluster::with_config(
+            p,
+            MachineConfig { faults, ..MachineConfig::default() },
+        );
+        let out = cluster.run(|proc| {
+            let mut disk = farm.lock(proc.rank());
+            let f = disk.create::<u64>("data");
+            let data: Vec<u64> = (0..512).collect();
+            disk.append(proc, &f, &data);
+            let mut total = 0u64;
+            for chunk in 0..32 {
+                let recs = disk
+                    .try_read_range(proc, &f, chunk * 16, 16)
+                    .expect("bounded retries should recover");
+                total += recs.iter().sum::<u64>();
+            }
+            (total, proc.counters.disk_retries)
+        });
+        let expected: u64 = (0..512).sum();
+        assert!(out.results.iter().all(|&(t, _)| t == expected));
+        let retries: u64 = out.results.iter().map(|&(_, r)| r).sum();
+        assert!(retries > 0, "25% error rate over 64 reads must retry");
     }
 }

@@ -3,7 +3,7 @@
 use pdc_cgm::{Cluster, RunOutput};
 use pdc_clouds::{class_counts, ClassCounts, DecisionTree, Reservoir};
 use pdc_datagen::Record;
-use pdc_dnc::{run, DncReport, Strategy};
+use pdc_dnc::{run_with_options, DncOptions, DncReport, Strategy};
 use pdc_pario::DiskFarm;
 
 use crate::config::PcloudsConfig;
@@ -131,7 +131,10 @@ fn run_problem(
     counts: ClassCounts,
     strategy: Strategy,
 ) -> DncReport {
-    run(proc, problem, NodeMeta { counts }, strategy)
+    let opts = DncOptions {
+        recover_small_tasks: problem.config.recover_small_tasks,
+    };
+    run_with_options(proc, problem, NodeMeta { counts }, strategy, opts)
 }
 
 /// Convenience wrapper: generate a farm, load `records`, and train with the
