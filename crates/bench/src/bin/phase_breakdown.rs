@@ -6,8 +6,12 @@
 //! reports, per processor, where the virtual time goes (statistics pass,
 //! split derivation, partitioning, small-node redistribution and solving)
 //! and the balance of the I/O volume.
+//!
+//! Phase times come from the span rollups of a traced run (see
+//! [`pdc_cgm::MetricsRegistry`]), not from hand-maintained timers: each
+//! column is the per-rank inclusive time of the matching `pclouds.*` span.
 
-use pdc_bench::harness::{csv_flag, run_pclouds, Scale, TableWriter};
+use pdc_bench::harness::{csv_flag, run_pclouds_traced, Scale, TableWriter};
 use pdc_dnc::Strategy;
 
 fn main() {
@@ -16,7 +20,8 @@ fn main() {
     let n = scale.records(4_800_000);
     let p = 8;
     eprintln!("phase_breakdown: n={n} p={p}");
-    let out = run_pclouds(n, p, scale, Strategy::Mixed);
+    let out = run_pclouds_traced(n, p, scale, Strategy::Mixed);
+    let reg = out.span_metrics();
 
     let mut table = TableWriter::new(
         &[
@@ -31,15 +36,15 @@ fn main() {
         ],
         csv,
     );
-    for (rank, (m, s)) in out.metrics.iter().zip(&out.run.stats).enumerate() {
+    for s in &out.run.stats {
         let io_mb = (s.counters.disk_read_bytes + s.counters.disk_write_bytes) as f64 / 1e6;
         table.row(vec![
-            rank.to_string(),
-            format!("{:.3}", m.time_stats),
-            format!("{:.3}", m.time_derive),
-            format!("{:.3}", m.time_partition),
-            format!("{:.3}", m.time_small_redistribute),
-            format!("{:.3}", m.time_small_solve),
+            s.rank.to_string(),
+            format!("{:.3}", reg.seconds_by_name(s.rank, "pclouds.stats")),
+            format!("{:.3}", reg.seconds_by_name(s.rank, "pclouds.derive")),
+            format!("{:.3}", reg.seconds_by_name(s.rank, "pclouds.partition")),
+            format!("{:.3}", reg.seconds_by_name(s.rank, "pclouds.small_redistribute")),
+            format!("{:.3}", reg.seconds_by_name(s.rank, "pclouds.small_solve")),
             format!("{io_mb:.2}"),
             format!("{:.3}", s.finish_time),
         ]);

@@ -56,6 +56,27 @@ impl Scale {
 /// memory), load them onto `p` disks, train, return the output (virtual
 /// runtime = `output.runtime()`).
 pub fn run_pclouds(n: u64, p: usize, scale: Scale, strategy: Strategy) -> TrainOutput {
+    run_pclouds_on(n, p, scale, strategy, machine_config(scale))
+}
+
+/// [`run_pclouds`] with span tracing and the event trace enabled, for the
+/// observability harnesses ([`pdc_cgm::chrome_trace_json`],
+/// [`pdc_cgm::critical_path`], span rollups). Spans and the trace are pure
+/// observation, so the virtual times are bit-identical to [`run_pclouds`].
+pub fn run_pclouds_traced(n: u64, p: usize, scale: Scale, strategy: Strategy) -> TrainOutput {
+    let mut machine = machine_config(scale);
+    machine.spans = true;
+    machine.trace = true;
+    run_pclouds_on(n, p, scale, strategy, machine)
+}
+
+fn run_pclouds_on(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    machine: MachineConfig,
+) -> TrainOutput {
     let config = experiment_config(n, scale);
     let stream = RecordStream::new(GeneratorConfig::default()).take(n as usize);
     let farm = DiskFarm::in_memory(p);
@@ -65,7 +86,7 @@ pub fn run_pclouds(n: u64, p: usize, scale: Scale, strategy: Strategy) -> TrainO
         config.clouds.sample_size,
         config.clouds.sample_seed,
     );
-    let cluster = Cluster::with_config(p, machine_config(scale));
+    let cluster = Cluster::with_config(p, machine);
     train(&cluster, &farm, &root, &config, strategy)
 }
 

@@ -19,6 +19,9 @@ pub struct MachineConfig {
     pub recv_timeout: Duration,
     /// Record a per-processor event trace (see [`crate::trace`]).
     pub trace: bool,
+    /// Record hierarchical spans (see [`crate::span`]). Pure observation:
+    /// enabling spans never changes a run's virtual times.
+    pub spans: bool,
     /// Deterministic fault-injection plan (see [`crate::fault`]); the
     /// default plan is inert and changes nothing.
     pub faults: FaultPlan,
@@ -30,6 +33,7 @@ impl Default for MachineConfig {
             cost: CostModel::default(),
             recv_timeout: Duration::from_secs(120),
             trace: false,
+            spans: false,
             faults: FaultPlan::default(),
         }
     }
@@ -116,6 +120,7 @@ impl Cluster {
             mailboxes: (0..self.nprocs).map(|_| Mailbox::new()).collect(),
             recv_timeout: self.config.recv_timeout,
             trace: self.config.trace,
+            spans: self.config.spans,
             faults: self.config.faults.clone(),
             faults_inert: self.config.faults.is_inert(),
         });

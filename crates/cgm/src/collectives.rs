@@ -51,6 +51,12 @@ impl Proc {
     /// least the maximum clock at entry (plus the messaging cost of the
     /// underlying dissemination).
     pub fn barrier(&mut self) {
+        let t = self.span("cgm.barrier", &[]);
+        self.barrier_inner();
+        self.span_end(t);
+    }
+
+    fn barrier_inner(&mut self) {
         // Dissemination barrier: ceil(log2 p) rounds; works for any p.
         let p = self.nprocs();
         if p == 1 {
@@ -73,6 +79,13 @@ impl Proc {
     /// One-to-all broadcast (binomial tree, any `p`). The root passes
     /// `Some(value)`; all other ranks pass `None` and receive the value.
     pub fn broadcast<T: Wire>(&mut self, root: usize, value: Option<T>) -> T {
+        let t = self.span("cgm.broadcast", &[("root", root as i64)]);
+        let out = self.broadcast_inner(root, value);
+        self.span_end(t);
+        out
+    }
+
+    fn broadcast_inner<T: Wire>(&mut self, root: usize, value: Option<T>) -> T {
         let p = self.nprocs();
         let rel = self.rel(root);
         if rel == 0 {
@@ -143,6 +156,18 @@ impl Proc {
         value: T,
         combine: impl Fn(T, T) -> T,
     ) -> Option<T> {
+        let t = self.span("cgm.reduce", &[("root", root as i64)]);
+        let out = self.reduce_inner(root, value, combine);
+        self.span_end(t);
+        out
+    }
+
+    fn reduce_inner<T: Wire>(
+        &mut self,
+        root: usize,
+        value: T,
+        combine: impl Fn(T, T) -> T,
+    ) -> Option<T> {
         let p = self.nprocs();
         if p == 1 {
             return Some(value);
@@ -176,6 +201,13 @@ impl Proc {
     /// Uses recursive doubling when `p` is a power of two (cost
     /// `(ts + tw·m)·log p`), otherwise reduce-to-0 followed by broadcast.
     pub fn allreduce<T: Wire>(&mut self, value: T, combine: impl Fn(T, T) -> T) -> T {
+        let t = self.span("cgm.allreduce", &[]);
+        let out = self.allreduce_inner(value, combine);
+        self.span_end(t);
+        out
+    }
+
+    fn allreduce_inner<T: Wire>(&mut self, value: T, combine: impl Fn(T, T) -> T) -> T {
         let p = self.nprocs();
         if p == 1 {
             return value;
@@ -205,6 +237,13 @@ impl Proc {
     /// rank). This is the paper's "min-reduction primitive on the local
     /// minimum gini indices".
     pub fn min_loc(&mut self, value: f64) -> (f64, usize) {
+        let t = self.span("cgm.min_loc", &[]);
+        let out = self.min_loc_inner(value);
+        self.span_end(t);
+        out
+    }
+
+    fn min_loc_inner(&mut self, value: f64) -> (f64, usize) {
         let pair = (value, self.rank() as u64);
         let (v, r) = self.allreduce(pair, |a, b| {
             if (b.0, b.1) < (a.0, a.1) {
@@ -223,6 +262,13 @@ impl Proc {
     /// Inclusive prefix combine (Hillis–Steele, any `p`): rank `i` gets
     /// `v_0 (+) v_1 (+) … (+) v_i`. `combine` must be associative.
     pub fn scan<T: Wire + Clone>(&mut self, value: T, combine: impl Fn(T, T) -> T) -> T {
+        let t = self.span("cgm.scan", &[]);
+        let out = self.scan_inner(value, combine);
+        self.span_end(t);
+        out
+    }
+
+    fn scan_inner<T: Wire + Clone>(&mut self, value: T, combine: impl Fn(T, T) -> T) -> T {
         let p = self.nprocs();
         let mut acc = value;
         let mut d = 1usize;
@@ -246,6 +292,18 @@ impl Proc {
     /// Exclusive prefix combine: rank `i` gets `v_0 (+) … (+) v_{i-1}`, and
     /// rank 0 gets `identity`.
     pub fn exscan<T: Wire + Clone>(
+        &mut self,
+        value: T,
+        identity: T,
+        combine: impl Fn(T, T) -> T,
+    ) -> T {
+        let t = self.span("cgm.exscan", &[]);
+        let out = self.exscan_inner(value, identity, combine);
+        self.span_end(t);
+        out
+    }
+
+    fn exscan_inner<T: Wire + Clone>(
         &mut self,
         value: T,
         identity: T,
@@ -276,6 +334,13 @@ impl Proc {
     /// All-to-one gather (binomial tree). Returns `Some(values)` on `root`
     /// (indexed by rank), `None` elsewhere.
     pub fn gather<T: Wire>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let t = self.span("cgm.gather", &[("root", root as i64)]);
+        let out = self.gather_inner(root, value);
+        self.span_end(t);
+        out
+    }
+
+    fn gather_inner<T: Wire>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
         let p = self.nprocs();
         let rel = self.rel(root);
         let d = log2ceil(p);
@@ -314,6 +379,13 @@ impl Proc {
     /// indexed by rank. Recursive doubling on power-of-two `p`
     /// (`ts·log p + tw·m·(p-1)`), ring otherwise.
     pub fn all_gather<T: Wire>(&mut self, value: T) -> Vec<T> {
+        let t = self.span("cgm.all_gather", &[]);
+        let out = self.all_gather_inner(value);
+        self.span_end(t);
+        out
+    }
+
+    fn all_gather_inner<T: Wire>(&mut self, value: T) -> Vec<T> {
         let p = self.nprocs();
         if p == 1 {
             return vec![value];
@@ -354,7 +426,14 @@ impl Proc {
     /// Personalized all-to-all: `parts[j]` is delivered to rank `j`; the
     /// result's element `i` is what rank `i` addressed to this rank.
     /// `parts[self.rank()]` is returned in place without transfer cost.
-    pub fn all_to_all<T: Wire>(&mut self, mut parts: Vec<T>) -> Vec<T> {
+    pub fn all_to_all<T: Wire>(&mut self, parts: Vec<T>) -> Vec<T> {
+        let t = self.span("cgm.all_to_all", &[]);
+        let out = self.all_to_all_inner(parts);
+        self.span_end(t);
+        out
+    }
+
+    fn all_to_all_inner<T: Wire>(&mut self, mut parts: Vec<T>) -> Vec<T> {
         let p = self.nprocs();
         assert_eq!(parts.len(), p, "all_to_all needs exactly one part per rank");
         if p == 1 {
@@ -411,6 +490,13 @@ impl Proc {
     /// communicate and surfaces an error instead of hanging when a link
     /// fails permanently.
     pub fn try_barrier(&mut self) -> Result<(), FaultError> {
+        let t = self.span("cgm.try_barrier", &[]);
+        let out = self.try_barrier_inner();
+        self.span_end(t);
+        out
+    }
+
+    fn try_barrier_inner(&mut self) -> Result<(), FaultError> {
         let p = self.nprocs();
         if p == 1 {
             return Ok(());
@@ -441,6 +527,17 @@ impl Proc {
     /// failure but returns `Err` like everyone else, so all ranks agree on
     /// whether the broadcast completed.
     pub fn try_broadcast<T: Wire>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T, FaultError> {
+        let t = self.span("cgm.try_broadcast", &[("root", root as i64)]);
+        let out = self.try_broadcast_inner(root, value);
+        self.span_end(t);
+        out
+    }
+
+    fn try_broadcast_inner<T: Wire>(
         &mut self,
         root: usize,
         value: Option<T>,
@@ -535,6 +632,18 @@ impl Proc {
         value: T,
         combine: impl Fn(T, T) -> T,
     ) -> Result<Option<T>, FaultError> {
+        let t = self.span("cgm.try_reduce", &[("root", root as i64)]);
+        let out = self.try_reduce_inner(root, value, combine);
+        self.span_end(t);
+        out
+    }
+
+    fn try_reduce_inner<T: Wire>(
+        &mut self,
+        root: usize,
+        value: T,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<Option<T>, FaultError> {
         let p = self.nprocs();
         if p == 1 {
             return Ok(Some(value));
@@ -576,6 +685,17 @@ impl Proc {
     /// link fails permanently (poison propagates through the recursive
     /// doubling / the reduce-broadcast pair), instead of hanging.
     pub fn try_allreduce<T: Wire>(
+        &mut self,
+        value: T,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<T, FaultError> {
+        let t = self.span("cgm.try_allreduce", &[]);
+        let out = self.try_allreduce_inner(value, combine);
+        self.span_end(t);
+        out
+    }
+
+    fn try_allreduce_inner<T: Wire>(
         &mut self,
         value: T,
         combine: impl Fn(T, T) -> T,

@@ -39,6 +39,10 @@ pub struct Counters {
     pub comm_time: f64,
     /// Virtual seconds spent on local disk I/O.
     pub io_time: f64,
+    /// Virtual seconds charged by injected faults (link retransmission
+    /// timeouts, transient disk-error retries) — kept out of `comm_time` /
+    /// `io_time` so those reflect the healthy machine's work.
+    pub fault_time: f64,
 }
 
 impl Counters {
@@ -73,6 +77,33 @@ impl Counters {
         self.compute_time += other.compute_time;
         self.comm_time += other.comm_time;
         self.io_time += other.io_time;
+        self.fault_time += other.fault_time;
+    }
+
+    /// Field-wise difference `self - earlier`: the counter activity since a
+    /// snapshot was taken. Used for per-span rollups (see [`crate::span`]).
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        let mut d = Counters::default();
+        for k in ALL_OP_KINDS {
+            d.ops[k.index()] = self.ops[k.index()] - earlier.ops[k.index()];
+        }
+        d.messages_sent = self.messages_sent - earlier.messages_sent;
+        d.bytes_sent = self.bytes_sent - earlier.bytes_sent;
+        d.messages_received = self.messages_received - earlier.messages_received;
+        d.bytes_received = self.bytes_received - earlier.bytes_received;
+        d.disk_reads = self.disk_reads - earlier.disk_reads;
+        d.disk_read_bytes = self.disk_read_bytes - earlier.disk_read_bytes;
+        d.disk_writes = self.disk_writes - earlier.disk_writes;
+        d.disk_write_bytes = self.disk_write_bytes - earlier.disk_write_bytes;
+        d.link_retries = self.link_retries - earlier.link_retries;
+        d.link_delays = self.link_delays - earlier.link_delays;
+        d.link_failures = self.link_failures - earlier.link_failures;
+        d.disk_retries = self.disk_retries - earlier.disk_retries;
+        d.compute_time = self.compute_time - earlier.compute_time;
+        d.comm_time = self.comm_time - earlier.comm_time;
+        d.io_time = self.io_time - earlier.io_time;
+        d.fault_time = self.fault_time - earlier.fault_time;
+        d
     }
 }
 
@@ -87,17 +118,26 @@ pub struct ProcStats {
     pub counters: Counters,
     /// Event trace (empty unless [`crate::MachineConfig::trace`] is set).
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Recorded spans in open order (empty unless
+    /// [`crate::MachineConfig::spans`] is set).
+    pub spans: Vec<crate::span::SpanRecord>,
 }
 
 impl ProcStats {
-    /// Seconds not attributed to compute, comm or I/O (waiting at
-    /// synchronization points, load imbalance).
+    /// Seconds not attributed to compute, comm, I/O or injected faults
+    /// (waiting at synchronization points, load imbalance).
     pub fn idle_time(&self) -> f64 {
         (self.finish_time
             - self.counters.compute_time
             - self.counters.comm_time
-            - self.counters.io_time)
+            - self.counters.io_time
+            - self.counters.fault_time)
             .max(0.0)
+    }
+
+    /// Seconds charged by injected faults (see [`Counters::fault_time`]).
+    pub fn fault_time(&self) -> f64 {
+        self.counters.fault_time
     }
 }
 
@@ -133,6 +173,41 @@ mod tests {
     }
 
     #[test]
+    fn merge_includes_fault_time() {
+        let mut a = Counters {
+            fault_time: 0.5,
+            ..Counters::default()
+        };
+        let b = Counters {
+            fault_time: 0.25,
+            ..Counters::default()
+        };
+        a.merge(&b);
+        assert!((a.fault_time - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_since_subtracts_every_field() {
+        let mut earlier = Counters::default();
+        earlier.add_ops(OpKind::Compare, 5);
+        earlier.bytes_sent = 10;
+        earlier.compute_time = 1.0;
+        earlier.fault_time = 0.125;
+        let mut later = earlier.clone();
+        later.add_ops(OpKind::Compare, 7);
+        later.bytes_sent += 90;
+        later.compute_time += 2.0;
+        later.fault_time += 0.375;
+        later.disk_read_bytes = 64;
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.ops[OpKind::Compare.index()], 7);
+        assert_eq!(d.bytes_sent, 90);
+        assert_eq!(d.disk_read_bytes, 64);
+        assert!((d.compute_time - 2.0).abs() < 1e-12);
+        assert!((d.fault_time - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
     fn idle_time_never_negative() {
         let stats = ProcStats {
             rank: 0,
@@ -142,23 +217,27 @@ mod tests {
                 ..Counters::default()
             },
             trace: Vec::new(),
+            spans: Vec::new(),
         };
         assert_eq!(stats.idle_time(), 0.0);
     }
 
     #[test]
-    fn idle_time_is_remainder() {
+    fn idle_time_is_remainder_after_fault_time() {
         let stats = ProcStats {
             rank: 0,
             finish_time: 10.0,
             counters: Counters {
                 compute_time: 4.0,
                 comm_time: 3.0,
-                io_time: 2.0,
+                io_time: 1.5,
+                fault_time: 0.5,
                 ..Counters::default()
             },
             trace: Vec::new(),
+            spans: Vec::new(),
         };
         assert!((stats.idle_time() - 1.0).abs() < 1e-12);
+        assert!((stats.fault_time() - 0.5).abs() < 1e-12);
     }
 }

@@ -1,0 +1,873 @@
+//! Exporters over a finished run's statistics: Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`), a JSONL metrics dump, and a
+//! cross-rank critical-path report.
+//!
+//! All JSON is hand-rolled (the repo is offline-vendored; no serde). The
+//! exporters are pure functions of [`crate::ProcStats`] — run the machine
+//! with [`crate::MachineConfig::trace`] and [`crate::MachineConfig::spans`]
+//! enabled, then feed [`crate::RunOutput::stats`] to any of them.
+//!
+//! # Chrome trace schema
+//!
+//! One Chrome *process* per rank (`pid` = rank, `tid` = 0). Every span
+//! becomes a `B`/`E` duration-event pair with its attributes in `args`;
+//! every injected fault becomes an instant event (`ph: "i"`). Timestamps
+//! are the virtual clock in microseconds.
+//!
+//! # Critical path
+//!
+//! The makespan of a run is bounded by a chain of dependent events: within
+//! a rank each event depends on its predecessor; across ranks a receive
+//! that actually waited depends on the matching send. [`critical_path`]
+//! walks that chain backward from the last event of the slowest rank
+//! (matching sends to receives FIFO per `(src, dst, tag)`, exactly the
+//! mailbox discipline), then compresses it into per-span segments. It also
+//! computes per-event *slack* — how much later an event could finish
+//! without growing the makespan — by a reverse-topological pass, and
+//! reports the spans with the least slack (the next bottlenecks).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::counters::ProcStats;
+use crate::trace::EventKind;
+
+// ----------------------------------------------------------------------
+// JSON building blocks
+// ----------------------------------------------------------------------
+
+/// Escape `s` as the body of a JSON string (no surrounding quotes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number. Rust's `Display` for `f64` never uses
+/// exponent notation and round-trips, which is exactly what JSON wants;
+/// non-finite values (which the simulator never produces) degrade to 0.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn attrs_json(attrs: &[(&'static str, i64)]) -> String {
+    let body: Vec<String> = attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", esc(k), v))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+// ----------------------------------------------------------------------
+// Chrome trace-event JSON
+// ----------------------------------------------------------------------
+
+/// Render a run as Chrome trace-event JSON: open the result in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`. One process per
+/// rank; spans become `B`/`E` pairs, faults become instant events.
+pub fn chrome_trace_json(stats: &[ProcStats]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for s in stats {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"rank {}\"}}}}",
+            s.rank, s.rank
+        ));
+        // Spans are recorded in open order and close LIFO, and the virtual
+        // clock is monotonic — so a stack replay emits correctly nested
+        // B/E pairs: before opening a span, close everything that is not
+        // its ancestor.
+        let mut stack: Vec<u32> = Vec::new();
+        for (i, sp) in s.spans.iter().enumerate() {
+            while stack.last() != sp.parent.as_ref() {
+                let done = stack.pop().expect("span parent must be on the stack");
+                let d = &s.spans[done as usize];
+                events.push(format!(
+                    "{{\"ph\":\"E\",\"ts\":{},\"pid\":{},\"tid\":0}}",
+                    num(d.end * 1e6),
+                    s.rank
+                ));
+            }
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":{},\
+                 \"pid\":{},\"tid\":0,\"args\":{}}}",
+                esc(sp.name),
+                num(sp.start * 1e6),
+                s.rank,
+                attrs_json(&sp.attrs)
+            ));
+            stack.push(i as u32);
+        }
+        while let Some(done) = stack.pop() {
+            let d = &s.spans[done as usize];
+            events.push(format!(
+                "{{\"ph\":\"E\",\"ts\":{},\"pid\":{},\"tid\":0}}",
+                num(d.end * 1e6),
+                s.rank
+            ));
+        }
+        for e in &s.trace {
+            if let EventKind::Fault { kind, seconds } = &e.kind {
+                events.push(format!(
+                    "{{\"name\":\"fault:{}\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\
+                     \"tid\":0,\"s\":\"t\",\"args\":{{\"seconds\":{}}}}}",
+                    esc(kind),
+                    num(e.time * 1e6),
+                    s.rank,
+                    num(*seconds)
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
+        events.join(",\n")
+    )
+}
+
+// ----------------------------------------------------------------------
+// JSONL metrics dump
+// ----------------------------------------------------------------------
+
+/// Render per-span metrics as JSON Lines: one row per rank × span with the
+/// span's timing and its counter deltas. Rows are self-describing; load
+/// them with anything that reads JSONL.
+pub fn metrics_jsonl(stats: &[ProcStats]) -> String {
+    let reg = crate::metrics::MetricsRegistry::from_stats(stats);
+    let mut out = String::new();
+    for r in reg.rows() {
+        let parent = match r.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"rank\":{},\"index\":{},\"parent\":{},\"depth\":{},\
+             \"name\":\"{}\",\"attrs\":{},\"start\":{},\"end\":{},\
+             \"seconds\":{},\"self_seconds\":{},\"compute_time\":{},\
+             \"comm_time\":{},\"io_time\":{},\"fault_time\":{},\
+             \"ops\":{},\"messages_sent\":{},\"bytes_sent\":{},\
+             \"messages_received\":{},\"bytes_received\":{},\
+             \"disk_read_bytes\":{},\"disk_write_bytes\":{}}}\n",
+            r.rank,
+            r.index,
+            parent,
+            r.depth,
+            esc(r.name),
+            attrs_json(&r.attrs),
+            num(r.start),
+            num(r.end),
+            num(r.seconds()),
+            num(r.self_seconds),
+            num(r.delta.compute_time),
+            num(r.delta.comm_time),
+            num(r.delta.io_time),
+            num(r.delta.fault_time),
+            r.delta.total_ops(),
+            r.delta.messages_sent,
+            r.delta.bytes_sent,
+            r.delta.messages_received,
+            r.delta.bytes_received,
+            r.delta.disk_read_bytes,
+            r.delta.disk_write_bytes,
+        ));
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Cross-rank critical path
+// ----------------------------------------------------------------------
+
+/// One compressed segment of the critical path: consecutive events of one
+/// rank attributed to one span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpSegment {
+    /// Rank the segment runs on.
+    pub rank: usize,
+    /// Name of the innermost span the segment's events belong to, or
+    /// `None` when no span was open (or spans were disabled).
+    pub span: Option<&'static str>,
+    /// Virtual time the segment starts, seconds.
+    pub start: f64,
+    /// Virtual time the segment ends, seconds.
+    pub end: f64,
+}
+
+impl CpSegment {
+    /// Segment duration, seconds.
+    pub fn seconds(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A span instance with little scheduling slack: finishing it later would
+/// soon grow the makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSlack {
+    /// Rank the span ran on.
+    pub rank: usize,
+    /// Index of the span in its rank's span list.
+    pub index: u32,
+    /// Span name.
+    pub name: &'static str,
+    /// Inclusive span duration, seconds.
+    pub seconds: f64,
+    /// Minimum slack over the span's events, seconds (0 = on the critical
+    /// path).
+    pub slack: f64,
+}
+
+/// Result of [`critical_path`]: the makespan-bounding chain plus slack
+/// analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathReport {
+    /// The run's makespan (maximum finish time), seconds.
+    pub makespan: f64,
+    /// The critical chain from time 0 to the makespan, compressed into
+    /// per-(rank, span) segments. Empty when the run recorded no trace.
+    pub segments: Vec<CpSegment>,
+    /// Critical-path seconds aggregated by span name, descending.
+    pub by_span: Vec<(String, f64)>,
+    /// Spans with the least slack (ascending; at most 10). Spans on the
+    /// critical path have zero slack.
+    pub top_slack: Vec<SpanSlack>,
+}
+
+enum Link {
+    Send { dst: usize, tag: u32 },
+    Recv { src: usize, tag: u32, waited: f64 },
+    Other,
+}
+
+struct CpEvent {
+    start: f64,
+    end: f64,
+    span: Option<u32>,
+    link: Link,
+}
+
+/// Walk Send→Recv edges and within-rank ordering to identify the chain of
+/// events bounding the makespan, and compute per-span slack. Requires a
+/// run with [`crate::MachineConfig::trace`] enabled (returns an empty
+/// report otherwise); span attribution additionally needs
+/// [`crate::MachineConfig::spans`].
+pub fn critical_path(stats: &[ProcStats]) -> CriticalPathReport {
+    let makespan = stats.iter().map(|s| s.finish_time).fold(0.0_f64, f64::max);
+    let mut report = CriticalPathReport {
+        makespan,
+        segments: Vec::new(),
+        by_span: Vec::new(),
+        top_slack: Vec::new(),
+    };
+
+    // Flatten each rank's trace into events with [start, end] extents.
+    let events: Vec<Vec<CpEvent>> = stats
+        .iter()
+        .map(|s| {
+            s.trace
+                .iter()
+                .map(|e| {
+                    let extent = e.kind.extent();
+                    let link = match &e.kind {
+                        EventKind::Send { dst, tag, .. } => {
+                            Link::Send { dst: *dst, tag: *tag }
+                        }
+                        EventKind::Recv { src, tag, waited, .. } => Link::Recv {
+                            src: *src,
+                            tag: *tag,
+                            waited: *waited,
+                        },
+                        _ => Link::Other,
+                    };
+                    CpEvent {
+                        start: e.time - extent,
+                        end: e.time,
+                        span: e.span,
+                        link,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Match sends to receives: the mailbox delivers FIFO per (src, tag),
+    // so the k-th send (src → dst, tag) pairs with the k-th receive of
+    // (src, tag) on dst. Poisoned/dropped transfers emit Fault events, not
+    // Send/Recv, so this pairing is exact even under fault injection.
+    let mut queues: HashMap<(usize, usize, u32), VecDeque<(usize, usize)>> =
+        HashMap::new();
+    for (rank, evs) in events.iter().enumerate() {
+        for (i, e) in evs.iter().enumerate() {
+            if let Link::Send { dst, tag } = e.link {
+                queues.entry((rank, dst, tag)).or_default().push_back((rank, i));
+            }
+        }
+    }
+    let mut recv_match: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    let mut send_match: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    for (rank, evs) in events.iter().enumerate() {
+        for (i, e) in evs.iter().enumerate() {
+            if let Link::Recv { src, tag, .. } = e.link {
+                if let Some(q) = queues.get_mut(&(src, rank, tag)) {
+                    if let Some(send) = q.pop_front() {
+                        recv_match.insert((rank, i), send);
+                        send_match.insert(send, (rank, i));
+                    }
+                }
+            }
+        }
+    }
+
+    // Backward walk from the last event of the slowest rank. At a receive
+    // that actually waited, the bound is the matching send on the source
+    // rank; otherwise it is the local predecessor.
+    let Some(start_rank) = stats
+        .iter()
+        .filter(|s| !s.trace.is_empty())
+        .max_by(|a, b| a.finish_time.partial_cmp(&b.finish_time).unwrap())
+        .map(|s| s.rank)
+    else {
+        return report; // no trace recorded
+    };
+    let total_events: usize = events.iter().map(Vec::len).sum();
+    let mut chain: Vec<(usize, usize)> = Vec::new();
+    let mut cur = (start_rank, events[start_rank].len() - 1);
+    loop {
+        chain.push(cur);
+        if chain.len() > total_events {
+            break; // safety net; the walk is finite by construction
+        }
+        let e = &events[cur.0][cur.1];
+        if let Link::Recv { waited, .. } = e.link {
+            if waited > 0.0 {
+                if let Some(&send) = recv_match.get(&cur) {
+                    cur = send;
+                    continue;
+                }
+            }
+        }
+        if cur.1 > 0 {
+            cur = (cur.0, cur.1 - 1);
+        } else {
+            break;
+        }
+    }
+    chain.reverse();
+
+    // Compress the chain into per-(rank, span) segments.
+    let span_name = |rank: usize, span: Option<u32>| -> Option<&'static str> {
+        span.map(|i| stats[rank].spans[i as usize].name)
+    };
+    for &(rank, i) in &chain {
+        let e = &events[rank][i];
+        let name = span_name(rank, e.span);
+        match report.segments.last_mut() {
+            Some(seg) if seg.rank == rank && seg.span == name => {
+                seg.end = e.end;
+            }
+            _ => report.segments.push(CpSegment {
+                rank,
+                span: name,
+                start: e.start,
+                end: e.end,
+            }),
+        }
+    }
+    for seg in &report.segments {
+        let key = seg.span.unwrap_or("<untracked>").to_string();
+        match report.by_span.iter_mut().find(|(n, _)| *n == key) {
+            Some((_, secs)) => *secs += seg.seconds(),
+            None => report.by_span.push((key, seg.seconds())),
+        }
+    }
+    report
+        .by_span
+        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Slack: latest completion time each event could have without growing
+    // the makespan, by a reverse-topological (Kahn) pass. Successors: the
+    // local next event, and for a matched send, its receive. A receive's
+    // own wait is shrinkable, so it does not propagate its extent.
+    let offsets: Vec<usize> = {
+        let mut off = Vec::with_capacity(events.len());
+        let mut acc = 0;
+        for evs in &events {
+            off.push(acc);
+            acc += evs.len();
+        }
+        off
+    };
+    let gid = |(rank, i): (usize, usize)| offsets[rank] + i;
+    let mut gid_rank = vec![0usize; total_events];
+    for (rank, evs) in events.iter().enumerate() {
+        for i in 0..evs.len() {
+            gid_rank[gid((rank, i))] = rank;
+        }
+    }
+    let mut latest = vec![f64::INFINITY; total_events];
+    let mut out_deg = vec![0u32; total_events];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); total_events];
+    for (rank, evs) in events.iter().enumerate() {
+        for i in 0..evs.len() {
+            let g = gid((rank, i));
+            if i + 1 < evs.len() {
+                out_deg[g] += 1;
+                preds[gid((rank, i + 1))].push(g);
+            }
+            if let Some(&recv) = send_match.get(&(rank, i)) {
+                out_deg[g] += 1;
+                preds[gid(recv)].push(g);
+            }
+        }
+    }
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    for (rank, evs) in events.iter().enumerate() {
+        for i in 0..evs.len() {
+            if out_deg[gid((rank, i))] == 0 {
+                latest[gid((rank, i))] = makespan;
+                queue.push_back((rank, i));
+            }
+        }
+    }
+    while let Some((rank, i)) = queue.pop_front() {
+        let g = gid((rank, i));
+        // Tighten: a predecessor must finish early enough for this event's
+        // own (unshrinkable) work to still fit before `latest[g]`.
+        let e = &events[rank][i];
+        let active = match e.link {
+            Link::Recv { .. } => 0.0,
+            _ => e.end - e.start,
+        };
+        let bound = latest[g] - active;
+        for &p in &preds[g] {
+            if bound < latest[p] {
+                latest[p] = bound;
+            }
+            out_deg[p] -= 1;
+            if out_deg[p] == 0 {
+                let pr = gid_rank[p];
+                queue.push_back((pr, p - offsets[pr]));
+            }
+        }
+    }
+
+    // Per-span slack: the minimum over the span's attributed events.
+    let mut span_slack: HashMap<(usize, u32), f64> = HashMap::new();
+    for (rank, evs) in events.iter().enumerate() {
+        for (i, e) in evs.iter().enumerate() {
+            if let Some(sp) = e.span {
+                let slack = (latest[gid((rank, i))] - e.end).max(0.0);
+                span_slack
+                    .entry((rank, sp))
+                    .and_modify(|s| *s = s.min(slack))
+                    .or_insert(slack);
+            }
+        }
+    }
+    let mut slack_rows: Vec<SpanSlack> = span_slack
+        .into_iter()
+        .map(|((rank, index), slack)| {
+            let sp = &stats[rank].spans[index as usize];
+            SpanSlack {
+                rank,
+                index,
+                name: sp.name,
+                seconds: sp.seconds(),
+                slack,
+            }
+        })
+        .collect();
+    slack_rows.sort_by(|a, b| {
+        a.slack
+            .partial_cmp(&b.slack)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.rank.cmp(&b.rank))
+            .then(a.index.cmp(&b.index))
+    });
+    slack_rows.truncate(10);
+    report.top_slack = slack_rows;
+    report
+}
+
+impl CriticalPathReport {
+    /// Render the report as a terminal-friendly text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path: makespan {:.6} s, {} segment(s)\n",
+            self.makespan,
+            self.segments.len()
+        ));
+        let show = |seg: &CpSegment| {
+            format!(
+                "  [rank {}] {:<28} {:>12.6} .. {:>12.6}  ({:.6} s)\n",
+                seg.rank,
+                seg.span.unwrap_or("<untracked>"),
+                seg.start,
+                seg.end,
+                seg.seconds()
+            )
+        };
+        if self.segments.len() <= 48 {
+            for seg in &self.segments {
+                out.push_str(&show(seg));
+            }
+        } else {
+            for seg in &self.segments[..24] {
+                out.push_str(&show(seg));
+            }
+            out.push_str(&format!(
+                "  … {} segment(s) elided …\n",
+                self.segments.len() - 48
+            ));
+            for seg in &self.segments[self.segments.len() - 24..] {
+                out.push_str(&show(seg));
+            }
+        }
+        if !self.by_span.is_empty() {
+            out.push_str("critical-path seconds by span:\n");
+            for (name, secs) in &self.by_span {
+                out.push_str(&format!("  {name:<28} {secs:>12.6} s\n"));
+            }
+        }
+        if !self.top_slack.is_empty() {
+            out.push_str("tightest spans by slack (0 = on the critical path):\n");
+            for s in &self.top_slack {
+                out.push_str(&format!(
+                    "  [rank {}] {:<28} slack {:>12.6} s  (span {:.6} s)\n",
+                    s.rank, s.name, s.slack, s.seconds
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// JSON validation (for tests and the trace_report smoke check)
+// ----------------------------------------------------------------------
+
+/// Check that `s` is one syntactically valid JSON value (RFC 8259 subset:
+/// objects, arrays, strings, numbers, `true`/`false`/`null`). Returns the
+/// byte offset and a message on the first error. Used by tests and the
+/// `trace_report` smoke check; not a general-purpose parser.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    p.ws();
+    p.value(0)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len()
+            && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<(), String> {
+        if depth > 256 {
+            return Err(format!("nesting too deep at byte {}", self.i));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.i
+            )),
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            self.value(depth + 1)?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value(depth + 1)?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    match self.peek() {
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => {
+                                        return Err(format!(
+                                            "bad \\u escape at byte {}",
+                                            self.i
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                c if c < 0x20 => {
+                    return Err(format!("raw control char in string at byte {}", self.i))
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("expected digits at byte {}", self.i));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("expected fraction digits at byte {}", self.i));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("expected exponent digits at byte {}", self.i));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, MachineConfig, OpKind};
+
+    fn traced_stats() -> Vec<ProcStats> {
+        let mut cfg = MachineConfig::default();
+        cfg.trace = true;
+        cfg.spans = true;
+        Cluster::with_config(2, cfg)
+            .run(|proc| {
+                let root = proc.span("test.root", &[("rank", proc.rank() as i64)]);
+                if proc.rank() == 0 {
+                    proc.in_span("test.work", &[], |p| {
+                        p.charge(OpKind::Misc, 1_000_000);
+                    });
+                    proc.send(1, 7, &42u64);
+                } else {
+                    let _: u64 = proc.in_span("test.wait", &[], |p| p.recv(0, 7));
+                }
+                proc.span_end(root);
+            })
+            .stats
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_span_events() {
+        let stats = traced_stats();
+        let json = chrome_trace_json(&stats);
+        validate_json(&json).expect("chrome trace must be valid JSON");
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("test.root"));
+        assert!(json.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn metrics_jsonl_rows_are_each_valid_json() {
+        let stats = traced_stats();
+        let jsonl = metrics_jsonl(&stats);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            validate_json(line).expect("each JSONL row must be valid JSON");
+        }
+        // 2 ranks × (root + child) spans.
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn critical_path_crosses_the_send_recv_edge() {
+        let stats = traced_stats();
+        let cp = critical_path(&stats);
+        assert!(cp.makespan > 0.0);
+        assert!(!cp.segments.is_empty());
+        // Rank 1 only waits; the makespan is bounded by rank 0's compute,
+        // so the chain must include a rank-0 segment.
+        assert!(cp.segments.iter().any(|s| s.rank == 0));
+        // The chain ends on the slowest rank.
+        assert_eq!(cp.segments.last().unwrap().rank, 1);
+        // And the big compute span has (near) zero slack.
+        let work = cp
+            .top_slack
+            .iter()
+            .find(|s| s.name == "test.work")
+            .expect("test.work must appear in slack rows");
+        assert!(work.slack.abs() < 1e-9);
+        let rendered = cp.render();
+        assert!(rendered.contains("critical path"));
+        assert!(rendered.contains("test.work"));
+    }
+
+    #[test]
+    fn critical_path_on_untraced_run_is_empty() {
+        let stats = Cluster::new(2)
+            .run(|proc| {
+                proc.charge(OpKind::Misc, 100);
+                proc.barrier();
+            })
+            .stats;
+        let cp = critical_path(&stats);
+        assert!(cp.segments.is_empty());
+        assert!(cp.makespan > 0.0);
+    }
+
+    #[test]
+    fn validate_json_accepts_and_rejects() {
+        assert!(validate_json("{\"a\":[1,2.5,-3e2,\"x\\n\",true,null]}").is_ok());
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,2,]").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{} extra").is_err());
+    }
+}

@@ -42,10 +42,13 @@ pub mod cluster;
 pub mod collectives;
 pub mod cost;
 pub mod counters;
+pub mod export;
 pub mod fault;
 pub mod group;
 pub mod mailbox;
+pub mod metrics;
 pub mod proc;
+pub mod span;
 pub mod topology;
 pub mod trace;
 pub mod wire;
@@ -53,7 +56,10 @@ pub mod wire;
 pub use cluster::{Cluster, MachineConfig, RunOutput};
 pub use cost::{CacheParams, ComputeRates, CostModel, DiskParams, NetworkParams, OpKind};
 pub use counters::{Counters, ProcStats};
+pub use export::{chrome_trace_json, critical_path, metrics_jsonl, CriticalPathReport};
 pub use fault::{DegradedWindow, DiskFaults, FaultError, FaultPlan, LinkFaults};
 pub use group::Group;
+pub use metrics::{MetricsRegistry, NameSummary, SpanRow};
 pub use proc::Proc;
+pub use span::{SpanAttr, SpanRecord, SpanToken};
 pub use wire::{DecodeError, Wire};

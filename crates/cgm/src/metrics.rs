@@ -1,0 +1,227 @@
+//! Per-span metrics rollups over a finished run.
+//!
+//! [`MetricsRegistry`] flattens the per-rank [`crate::span::SpanRecord`]
+//! lists of a run into queryable rows: inclusive and self (exclusive of
+//! children) seconds per span, counter deltas, and cross-rank by-name
+//! summaries. It is pure post-processing — build one from
+//! [`crate::RunOutput::stats`] after a run with
+//! [`crate::MachineConfig::spans`] enabled.
+
+use crate::counters::{Counters, ProcStats};
+use crate::span::SpanAttr;
+
+/// One span of one rank, with derived timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    /// Rank that recorded the span.
+    pub rank: usize,
+    /// Index of the span in its rank's span list (open order).
+    pub index: u32,
+    /// Index of the enclosing span on the same rank, if any.
+    pub parent: Option<u32>,
+    /// Nesting depth (0 = top level).
+    pub depth: u32,
+    /// Span name.
+    pub name: &'static str,
+    /// Attributes supplied at open.
+    pub attrs: Vec<SpanAttr>,
+    /// Virtual time at open, seconds.
+    pub start: f64,
+    /// Virtual time at close, seconds.
+    pub end: f64,
+    /// Inclusive seconds minus the inclusive seconds of direct children:
+    /// time spent in this span's own code.
+    pub self_seconds: f64,
+    /// Counter deltas over the span (inclusive of children).
+    pub delta: Counters,
+}
+
+impl SpanRow {
+    /// Inclusive duration of the span, seconds.
+    pub fn seconds(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Cross-rank aggregate for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameSummary {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of span instances across all ranks.
+    pub count: usize,
+    /// Total inclusive seconds across all ranks.
+    pub total_seconds: f64,
+    /// Total self seconds across all ranks.
+    pub total_self_seconds: f64,
+    /// Largest single-instance inclusive duration.
+    pub max_seconds: f64,
+}
+
+/// Queryable collection of every span of every rank in a run.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    rows: Vec<SpanRow>,
+    nranks: usize,
+}
+
+impl MetricsRegistry {
+    /// Build a registry from a run's per-rank statistics.
+    pub fn from_stats(stats: &[ProcStats]) -> Self {
+        let mut rows = Vec::new();
+        for s in stats {
+            let mut self_seconds: Vec<f64> =
+                s.spans.iter().map(|sp| sp.seconds()).collect();
+            // Children appear after their parent in open order; subtract
+            // each child's inclusive time from its direct parent.
+            for sp in &s.spans {
+                if let Some(p) = sp.parent {
+                    self_seconds[p as usize] -= sp.seconds();
+                }
+            }
+            for (i, sp) in s.spans.iter().enumerate() {
+                rows.push(SpanRow {
+                    rank: s.rank,
+                    index: i as u32,
+                    parent: sp.parent,
+                    depth: sp.depth,
+                    name: sp.name,
+                    attrs: sp.attrs.clone(),
+                    start: sp.start,
+                    end: sp.end,
+                    self_seconds: self_seconds[i],
+                    delta: sp.delta.clone(),
+                });
+            }
+        }
+        MetricsRegistry {
+            rows,
+            nranks: stats.len(),
+        }
+    }
+
+    /// All rows, grouped by rank and in open order within a rank.
+    pub fn rows(&self) -> &[SpanRow] {
+        &self.rows
+    }
+
+    /// Number of ranks in the run the registry was built from.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Rows of one rank, in open order.
+    pub fn rank_rows(&self, rank: usize) -> impl Iterator<Item = &SpanRow> {
+        self.rows.iter().filter(move |r| r.rank == rank)
+    }
+
+    /// Total inclusive seconds of spans named `name` on `rank`. Only
+    /// meaningful when `name` does not nest within itself (the repo's
+    /// instrumentation keeps that invariant).
+    pub fn seconds_by_name(&self, rank: usize, name: &str) -> f64 {
+        self.rank_rows(rank)
+            .filter(|r| r.name == name)
+            .map(|r| r.seconds())
+            .sum()
+    }
+
+    /// Total inclusive seconds of `rank`'s top-level (depth 0) spans. When
+    /// a run's whole SPMD body is wrapped in one root span this equals the
+    /// rank's finish time.
+    pub fn top_level_seconds(&self, rank: usize) -> f64 {
+        self.rank_rows(rank)
+            .filter(|r| r.depth == 0)
+            .map(|r| r.seconds())
+            .sum()
+    }
+
+    /// Aggregate spans by name across all ranks, sorted by descending
+    /// total inclusive seconds.
+    pub fn by_name(&self) -> Vec<NameSummary> {
+        let mut summaries: Vec<NameSummary> = Vec::new();
+        for r in &self.rows {
+            match summaries.iter_mut().find(|s| s.name == r.name) {
+                Some(s) => {
+                    s.count += 1;
+                    s.total_seconds += r.seconds();
+                    s.total_self_seconds += r.self_seconds;
+                    s.max_seconds = s.max_seconds.max(r.seconds());
+                }
+                None => summaries.push(NameSummary {
+                    name: r.name,
+                    count: 1,
+                    total_seconds: r.seconds(),
+                    total_self_seconds: r.self_seconds,
+                    max_seconds: r.seconds(),
+                }),
+            }
+        }
+        summaries.sort_by(|a, b| {
+            b.total_seconds
+                .partial_cmp(&a.total_seconds)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        summaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, MachineConfig, OpKind};
+
+    fn traced_run() -> Vec<ProcStats> {
+        let mut cfg = MachineConfig::default();
+        cfg.spans = true;
+        Cluster::with_config(2, cfg)
+            .run(|proc| {
+                let root = proc.span("root", &[]);
+                proc.in_span("inner.a", &[("k", 1)], |p| {
+                    p.charge(OpKind::Misc, 1000);
+                });
+                proc.in_span("inner.b", &[], |p| {
+                    p.charge(OpKind::Misc, 3000);
+                });
+                proc.span_end(root);
+            })
+            .stats
+    }
+
+    #[test]
+    fn self_seconds_excludes_children() {
+        let stats = traced_run();
+        let reg = MetricsRegistry::from_stats(&stats);
+        let root = reg
+            .rank_rows(0)
+            .find(|r| r.name == "root")
+            .expect("root span");
+        // Root does nothing itself; its time is entirely in the children.
+        assert!(root.self_seconds.abs() < 1e-12);
+        assert!(root.seconds() > 0.0);
+        let a = reg.seconds_by_name(0, "inner.a");
+        let b = reg.seconds_by_name(0, "inner.b");
+        assert!((a + b - root.seconds()).abs() < 1e-12);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn top_level_seconds_covers_the_run() {
+        let stats = traced_run();
+        let reg = MetricsRegistry::from_stats(&stats);
+        for s in &stats {
+            assert!((reg.top_level_seconds(s.rank) - s.finish_time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn by_name_sorts_by_total_seconds() {
+        let stats = traced_run();
+        let reg = MetricsRegistry::from_stats(&stats);
+        let names = reg.by_name();
+        assert_eq!(names[0].name, "root");
+        assert_eq!(names[0].count, 2);
+        let ib = names.iter().find(|s| s.name == "inner.b").unwrap();
+        let ia = names.iter().find(|s| s.name == "inner.a").unwrap();
+        assert!(ib.total_seconds > ia.total_seconds);
+    }
+}

@@ -22,6 +22,7 @@ use crate::cost::{CostModel, OpKind};
 use crate::counters::Counters;
 use crate::fault::{FaultError, FaultPlan, STREAM_DISK_READ, STREAM_LINK_DELAY, STREAM_LINK_DROP};
 use crate::mailbox::{Mailbox, Message};
+use crate::span::{SpanAttr, SpanRecord, SpanToken, SPAN_DISABLED};
 use crate::trace::{EventKind, TraceEvent};
 use crate::wire::Wire;
 
@@ -39,6 +40,8 @@ pub struct SharedMachine {
     pub recv_timeout: Duration,
     /// Whether processors record event traces.
     pub trace: bool,
+    /// Whether processors record spans (see [`crate::span`]).
+    pub spans: bool,
     /// Deterministic fault-injection plan (see [`crate::fault`]).
     pub faults: FaultPlan,
     /// Precomputed [`FaultPlan::is_inert`]: when true, every fault code
@@ -57,6 +60,9 @@ pub struct Proc {
     /// record domain-specific totals through helper methods).
     pub counters: Counters,
     trace: Vec<TraceEvent>,
+    /// Recorded spans (open order) and the stack of currently open ones.
+    spans: Vec<SpanRecord>,
+    span_stack: Vec<u32>,
     /// This rank's straggler multiplier (1.0 when healthy / faults inert).
     skew: f64,
     /// Per-destination message sequence numbers (fault-decision streams).
@@ -80,6 +86,8 @@ impl Proc {
             shared,
             counters: Counters::default(),
             trace: Vec::new(),
+            spans: Vec::new(),
+            span_stack: Vec::new(),
             skew,
             link_seq: vec![0; nprocs],
             disk_seq: 0,
@@ -150,8 +158,105 @@ impl Proc {
 
     fn trace_event(&mut self, kind: EventKind) {
         if self.shared.trace {
-            self.trace.push(TraceEvent { time: self.clock, kind });
+            self.trace.push(TraceEvent {
+                time: self.clock,
+                span: self.span_stack.last().copied(),
+                kind,
+            });
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Spans
+    // ------------------------------------------------------------------
+
+    /// Whether this run records spans (see [`crate::MachineConfig::spans`]).
+    /// Instrumentation can use this to skip building expensive attributes.
+    pub fn spans_enabled(&self) -> bool {
+        self.shared.spans
+    }
+
+    /// Open a span named `name` with `attrs` at the current virtual time.
+    /// Spans nest and must be closed LIFO with [`Proc::span_end`]; opening
+    /// and closing never charges the virtual clock. When spans are disabled
+    /// this is a no-op returning an inert token.
+    ///
+    /// ```
+    /// use pdc_cgm::{Cluster, MachineConfig, OpKind};
+    ///
+    /// let mut cfg = MachineConfig::default();
+    /// cfg.spans = true;
+    /// let out = Cluster::with_config(2, cfg).run(|proc| {
+    ///     let t = proc.span("phase.work", &[("items", 10)]);
+    ///     proc.charge(OpKind::Misc, 10);
+    ///     proc.span_end(t);
+    /// });
+    /// let span = &out.stats[0].spans[0];
+    /// assert_eq!(span.name, "phase.work");
+    /// assert!(span.seconds() > 0.0);
+    /// ```
+    pub fn span(&mut self, name: &'static str, attrs: &[SpanAttr]) -> SpanToken {
+        if !self.shared.spans {
+            return SpanToken { index: SPAN_DISABLED };
+        }
+        let index = self.spans.len() as u32;
+        self.spans.push(SpanRecord {
+            name,
+            attrs: attrs.to_vec(),
+            parent: self.span_stack.last().copied(),
+            depth: self.span_stack.len() as u32,
+            start: self.clock,
+            end: f64::NAN,
+            // Snapshot of the counters at open; replaced by the delta when
+            // the span closes.
+            delta: self.counters.clone(),
+        });
+        self.span_stack.push(index);
+        SpanToken { index }
+    }
+
+    /// Close the span opened by the matching [`Proc::span`] call. Panics if
+    /// `token` does not belong to the innermost open span (spans must close
+    /// in LIFO order) — unbalanced instrumentation is a programming error.
+    pub fn span_end(&mut self, token: SpanToken) {
+        if token.index == SPAN_DISABLED {
+            return;
+        }
+        let top = self.span_stack.pop().unwrap_or_else(|| {
+            panic!(
+                "cgm: rank {}: span_end for \"{}\" but no span is open — \
+                 unbalanced span open/close",
+                self.rank, self.spans[token.index as usize].name
+            )
+        });
+        if top != token.index {
+            panic!(
+                "cgm: rank {}: span_end for \"{}\" (index {}) but the innermost \
+                 open span is \"{}\" (index {}) — spans must close in LIFO order",
+                self.rank,
+                self.spans[token.index as usize].name,
+                token.index,
+                self.spans[top as usize].name,
+                top
+            );
+        }
+        let record = &mut self.spans[top as usize];
+        record.end = self.clock;
+        record.delta = self.counters.delta_since(&record.delta);
+    }
+
+    /// Run `f` inside a span: open, call, close. Convenience for bodies
+    /// without early exits from the caller's scope.
+    pub fn in_span<T>(
+        &mut self,
+        name: &'static str,
+        attrs: &[SpanAttr],
+        f: impl FnOnce(&mut Proc) -> T,
+    ) -> T {
+        let token = self.span(name, attrs);
+        let out = f(self);
+        self.span_end(token);
+        out
     }
 
     /// Charge `count` operations of `kind` over a working set of
@@ -208,7 +313,7 @@ impl Proc {
                 }
                 let penalty = self.scaled(self.shared.faults.disk.retry_penalty);
                 self.clock += penalty;
-                self.counters.io_time += penalty;
+                self.counters.fault_time += penalty;
                 self.counters.disk_retries += 1;
                 self.trace_event(EventKind::Fault { kind: "disk-error", seconds: penalty });
                 if attempt >= max_retries {
@@ -298,7 +403,12 @@ impl Proc {
             self.counters.comm_time += cost;
             self.counters.messages_sent += 1;
             self.counters.bytes_sent += payload.len() as u64;
-            self.trace_event(EventKind::Send { dst, tag, bytes: payload.len() });
+            self.trace_event(EventKind::Send {
+                dst,
+                tag,
+                bytes: payload.len(),
+                seconds: cost,
+            });
             self.shared.mailboxes[dst].push(Message {
                 src: self.rank,
                 tag,
@@ -326,7 +436,7 @@ impl Proc {
                 // timeout, then retransmits (or gives up).
                 let penalty = cost + retry_timeout;
                 self.clock += penalty;
-                self.counters.comm_time += penalty;
+                self.counters.fault_time += penalty;
                 self.trace_event(EventKind::Fault { kind: "link-drop", seconds: penalty });
                 if attempt >= max_retries {
                     self.counters.link_failures += 1;
@@ -347,7 +457,12 @@ impl Proc {
             self.counters.comm_time += cost;
             self.counters.messages_sent += 1;
             self.counters.bytes_sent += payload.len() as u64;
-            self.trace_event(EventKind::Send { dst, tag, bytes: payload.len() });
+            self.trace_event(EventKind::Send {
+                dst,
+                tag,
+                bytes: payload.len(),
+                seconds: cost,
+            });
             let mut arrive_time = self.clock;
             let delay_stream = [STREAM_LINK_DELAY, src_w, dst_w, seq, attempt as u64];
             if self.shared.faults.decide(&delay_stream, delay_prob) {
@@ -471,13 +586,30 @@ impl Proc {
         self.recv(peer, tag)
     }
 
-    /// Snapshot of this processor's final statistics.
+    /// Snapshot of this processor's final statistics. Panics if any span is
+    /// still open — every [`Proc::span`] must be balanced by a
+    /// [`Proc::span_end`] before the SPMD closure returns.
     pub(crate) fn into_stats(self) -> crate::counters::ProcStats {
+        if !self.span_stack.is_empty() {
+            let open: Vec<&str> = self
+                .span_stack
+                .iter()
+                .map(|&i| self.spans[i as usize].name)
+                .collect();
+            panic!(
+                "cgm: rank {}: {} span(s) still open at run end ({}) — \
+                 unbalanced span open/close",
+                self.rank,
+                open.len(),
+                open.join(" > ")
+            );
+        }
         crate::counters::ProcStats {
             rank: self.rank,
             finish_time: self.clock,
             counters: self.counters,
             trace: self.trace,
+            spans: self.spans,
         }
     }
 }

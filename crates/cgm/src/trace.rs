@@ -4,7 +4,8 @@
 //! records a timestamped event per message, compute charge and disk
 //! request. Traces come back in [`crate::ProcStats::trace`] and can be
 //! summarized into a per-processor utilization timeline — handy for seeing
-//! where a run's load imbalance lives.
+//! where a run's load imbalance lives — or exported as a Chrome trace via
+//! [`crate::export`].
 
 use crate::cost::OpKind;
 
@@ -13,6 +14,9 @@ use crate::cost::OpKind;
 pub struct TraceEvent {
     /// Virtual time at event completion, seconds.
     pub time: f64,
+    /// Index (into [`crate::ProcStats::spans`]) of the innermost span open
+    /// when the event happened, if spans are enabled and one was open.
+    pub span: Option<u32>,
     /// What happened.
     pub kind: EventKind,
 }
@@ -28,6 +32,8 @@ pub enum EventKind {
         tag: u32,
         /// Payload bytes.
         bytes: usize,
+        /// Seconds charged for the transmission (`alpha + beta * bytes`).
+        seconds: f64,
     },
     /// Received a message.
     Recv {
@@ -65,6 +71,27 @@ pub enum EventKind {
         /// Seconds charged for the retry, timeout or delay.
         seconds: f64,
     },
+}
+
+impl EventKind {
+    /// Seconds of the rank's timeline this event occupies (a receive's
+    /// extent is its wait; a link-delay fault charges the receiver, not the
+    /// sender, so its extent here is zero).
+    pub fn extent(&self) -> f64 {
+        match self {
+            EventKind::Send { seconds, .. } => *seconds,
+            EventKind::Recv { waited, .. } => *waited,
+            EventKind::Compute { seconds, .. } => *seconds,
+            EventKind::Disk { seconds, .. } => *seconds,
+            EventKind::Fault { kind, seconds } => {
+                if *kind == "link-delay" {
+                    0.0
+                } else {
+                    *seconds
+                }
+            }
+        }
+    }
 }
 
 /// Activity classes for timeline summaries.
@@ -109,12 +136,7 @@ pub fn timeline(trace: &[TraceEvent], horizon: f64, buckets: usize) -> String {
     };
     for e in trace {
         match &e.kind {
-            EventKind::Send { bytes, .. } => {
-                // Send duration is not recorded directly; approximate as
-                // negligible width at the timestamp.
-                add(e.time - 1e-9, e.time, 1);
-                let _ = bytes;
-            }
+            EventKind::Send { seconds, .. } => add(e.time - seconds, e.time, 1),
             EventKind::Recv { waited, .. } => add(e.time - waited, e.time, 1),
             EventKind::Compute { seconds, .. } => add(e.time - seconds, e.time, 0),
             EventKind::Disk { seconds, .. } => add(e.time - seconds, e.time, 2),
@@ -144,37 +166,102 @@ pub fn timeline(trace: &[TraceEvent], horizon: f64, buckets: usize) -> String {
 mod tests {
     use super::*;
 
+    fn ev(time: f64, kind: EventKind) -> TraceEvent {
+        TraceEvent { time, span: None, kind }
+    }
+
     #[test]
     fn timeline_classifies_dominant_activity() {
         let trace = vec![
-            TraceEvent {
-                time: 1.0,
-                kind: EventKind::Compute {
+            ev(
+                1.0,
+                EventKind::Compute {
                     kind: OpKind::Misc,
                     count: 1,
                     seconds: 1.0,
                 },
-            },
-            TraceEvent {
-                time: 2.0,
-                kind: EventKind::Disk {
+            ),
+            ev(
+                2.0,
+                EventKind::Disk {
                     read: true,
                     bytes: 100,
                     seconds: 1.0,
                 },
-            },
-            TraceEvent {
-                time: 4.0,
-                kind: EventKind::Recv {
+            ),
+            ev(
+                4.0,
+                EventKind::Recv {
                     src: 0,
                     tag: 0,
                     bytes: 8,
                     waited: 1.0,
                 },
-            },
+            ),
         ];
         let line = timeline(&trace, 4.0, 4);
         assert_eq!(line, "CD.M");
+    }
+
+    #[test]
+    fn send_events_fill_their_full_duration() {
+        // One send that spans the whole first bucket: with the recorded
+        // duration it must dominate, not register as a sliver.
+        let trace = vec![ev(
+            1.0,
+            EventKind::Send {
+                dst: 1,
+                tag: 0,
+                bytes: 1 << 20,
+                seconds: 1.0,
+            },
+        )];
+        assert_eq!(timeline(&trace, 2.0, 2), "M.");
+    }
+
+    #[test]
+    fn timeline_classifies_fault_events() {
+        // Disk faults count as I/O, link faults as communication.
+        let trace = vec![
+            ev(
+                1.0,
+                EventKind::Fault {
+                    kind: "disk-error",
+                    seconds: 1.0,
+                },
+            ),
+            ev(
+                2.0,
+                EventKind::Fault {
+                    kind: "link-drop",
+                    seconds: 1.0,
+                },
+            ),
+        ];
+        assert_eq!(timeline(&trace, 2.0, 2), "DM");
+    }
+
+    #[test]
+    fn event_extent_matches_charged_seconds() {
+        assert_eq!(
+            ev(1.0, EventKind::Send { dst: 0, tag: 0, bytes: 4, seconds: 0.5 })
+                .kind
+                .extent(),
+            0.5
+        );
+        assert_eq!(
+            ev(1.0, EventKind::Recv { src: 0, tag: 0, bytes: 4, waited: 0.25 })
+                .kind
+                .extent(),
+            0.25
+        );
+        // A link delay is charged to the receiver's wait, not the sender.
+        assert_eq!(
+            ev(1.0, EventKind::Fault { kind: "link-delay", seconds: 3.0 })
+                .kind
+                .extent(),
+            0.0
+        );
     }
 
     #[test]

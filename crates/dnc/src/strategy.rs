@@ -108,13 +108,23 @@ pub fn run_with_options<P: OocProblem>(
     strategy: Strategy,
     opts: DncOptions,
 ) -> DncReport {
-    match strategy {
+    let strategy_idx = match strategy {
+        Strategy::DataParallel => 0,
+        Strategy::Mixed => 1,
+        Strategy::MixedImmediate => 2,
+        Strategy::Concatenated => 3,
+        Strategy::TaskParallel => 4,
+    };
+    let span = proc.span("dnc.run", &[("strategy", strategy_idx)]);
+    let report = match strategy {
         Strategy::DataParallel => run_data_parallel(proc, problem, root_meta),
         Strategy::Mixed => run_mixed(proc, problem, root_meta, false, opts),
         Strategy::MixedImmediate => run_mixed(proc, problem, root_meta, true, opts),
         Strategy::Concatenated => run_concatenated(proc, problem, root_meta),
         Strategy::TaskParallel => run_task_parallel(proc, problem, root_meta),
-    }
+    };
+    proc.span_end(span);
+    report
 }
 
 /// Pure task parallelism: each processor follows its own root-to-leaf path
@@ -134,11 +144,17 @@ fn run_task_parallel<P: OocProblem>(
         if group.size() == 1 {
             report.small_tasks += 1;
             report.local_small_tasks += 1;
-            problem.solve_subtree_local(proc, &task);
+            let attrs = [("task", task.id as i64), ("depth", task.depth as i64)];
+            proc.in_span("dnc.small", &attrs, |proc| {
+                problem.solve_subtree_local(proc, &task)
+            });
             return report;
         }
         report.large_tasks += 1;
-        match problem.process_group(proc, &group, &task) {
+        let attrs = [("task", task.id as i64), ("depth", task.depth as i64)];
+        match proc.in_span("dnc.task", &attrs, |proc| {
+            problem.process_group(proc, &group, &task)
+        }) {
             Outcome::Solved => return report,
             Outcome::Split(l, r) => {
                 let (lt, rt) = task.children(l, r);
@@ -167,7 +183,11 @@ fn run_data_parallel<P: OocProblem>(
     while let Some(task) = queue.pop_front() {
         report.large_tasks += 1;
         report.max_depth = report.max_depth.max(task.depth);
-        if let Outcome::Split(l, r) = problem.process_large(proc, &task) {
+        let attrs = [("task", task.id as i64), ("depth", task.depth as i64)];
+        let outcome = proc.in_span("dnc.task", &attrs, |proc| {
+            problem.process_large(proc, &task)
+        });
+        if let Outcome::Split(l, r) = outcome {
             let (lt, rt) = task.children(l, r);
             queue.push_back(lt);
             queue.push_back(rt);
@@ -195,7 +215,11 @@ fn run_mixed<P: OocProblem>(
     while let Some(task) = queue.pop_front() {
         report.large_tasks += 1;
         report.max_depth = report.max_depth.max(task.depth);
-        if let Outcome::Split(l, r) = problem.process_large(proc, &task) {
+        let attrs = [("task", task.id as i64), ("depth", task.depth as i64)];
+        let outcome = proc.in_span("dnc.task", &attrs, |proc| {
+            problem.process_large(proc, &task)
+        });
+        if let Outcome::Split(l, r) = outcome {
             let (lt, rt) = task.children(l, r);
             for child in [lt, rt] {
                 if problem.is_small(&child.meta) {
@@ -227,6 +251,7 @@ fn dispatch_small<P: OocProblem>(
     report: &mut DncReport,
     opts: DncOptions,
 ) {
+    let span = proc.span("dnc.small", &[("tasks", tasks.len() as i64)]);
     let costs: Vec<f64> = tasks.iter().map(|t| problem.cost(&t.meta)).collect();
     let plan = opts.recover_small_tasks.then(|| proc.faults().clone());
     let owners = match &plan {
@@ -270,6 +295,7 @@ fn dispatch_small<P: OocProblem>(
             }
         }
     }
+    proc.span_end(span);
 }
 
 fn run_concatenated<P: OocProblem>(
@@ -284,7 +310,11 @@ fn run_concatenated<P: OocProblem>(
         report.max_depth = report
             .max_depth
             .max(level.iter().map(|t| t.depth).max().unwrap_or(0));
-        let outcomes = problem.process_level(proc, &level);
+        let depth = level.iter().map(|t| t.depth).max().unwrap_or(0);
+        let attrs = [("depth", depth as i64), ("tasks", level.len() as i64)];
+        let outcomes = proc.in_span("dnc.level", &attrs, |proc| {
+            problem.process_level(proc, &level)
+        });
         assert_eq!(outcomes.len(), level.len(), "process_level shape mismatch");
         let mut next = Vec::new();
         for (task, outcome) in level.iter().zip(outcomes) {

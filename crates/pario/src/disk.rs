@@ -215,7 +215,9 @@ impl NodeDisk {
     /// known to fit in memory, e.g. the paper's "small nodes").
     pub fn read_all<R: Rec>(&mut self, proc: &mut Proc, file: &TypedFile<R>) -> Vec<R> {
         let n = self.num_records(file);
-        self.read_range(proc, file, 0, n)
+        proc.in_span("pario.read_all", &[("records", n as i64)], |proc| {
+            self.read_range(proc, file, 0, n)
+        })
     }
 
     /// Append records **without charging any virtual time** — for loading

@@ -34,6 +34,10 @@ where
     F: Fn(&R) -> usize,
 {
     assert!(chunk_records > 0, "chunk_records must be positive");
+    let span = proc.span(
+        "pario.redistribute",
+        &[("chunk_records", chunk_records as i64)],
+    );
     let p = proc.nprocs();
     let local_records = farm.lock(proc.rank()).num_records(src);
     let local_rounds = local_records.div_ceil(chunk_records);
@@ -71,6 +75,7 @@ where
             disk.append(proc, dst, &batch);
         }
     }
+    proc.span_end(span);
     received_total
 }
 

@@ -96,6 +96,12 @@ impl TrainOutput {
     pub fn runtime(&self) -> f64 {
         self.run.makespan()
     }
+
+    /// Per-span metrics rollups of the run. Empty unless the cluster was
+    /// configured with [`pdc_cgm::MachineConfig::spans`] enabled.
+    pub fn span_metrics(&self) -> pdc_cgm::MetricsRegistry {
+        pdc_cgm::MetricsRegistry::from_stats(&self.run.stats)
+    }
 }
 
 /// Train a pCLOUDS tree on data already loaded onto `farm` (see

@@ -110,6 +110,7 @@ impl PcloudsProblem<'_> {
         q: usize,
         chunk: usize,
     ) -> NodeStats {
+        let span = proc.span("pclouds.attr_scan", &[("node", id as i64)]);
         let mut stats = NodeStats::from_sample(sample, q);
         let mut disk = self.farm.lock(proc.rank());
         let f = disk.open::<Record>(&Self::node_file(id));
@@ -121,6 +122,7 @@ impl PcloudsProblem<'_> {
                 stats.add_record(r);
             }
         }
+        proc.span_end(span);
         stats
     }
 
@@ -705,6 +707,7 @@ impl OocProblem for PcloudsProblem<'_> {
 
         // Phase 1: local statistics (fused from the parent when possible).
         let phase_start = proc.clock();
+        let stats_span = proc.span("pclouds.stats", &[("node", id as i64)]);
         let cached = {
             let mut st = self.build.rank(proc.rank());
             st.stats_cache.remove(&id)
@@ -719,11 +722,13 @@ impl OocProblem for PcloudsProblem<'_> {
                 self.local_stats_pass(proc, id, &sample, q, self.chunk())
             }
         };
+        proc.span_end(stats_span);
         {
             let mut st = self.build.rank(proc.rank());
             st.metrics.time_stats += proc.clock() - phase_start;
         }
         let phase_start = proc.clock();
+        let derive_span = proc.span("pclouds.derive", &[("node", id as i64)]);
 
         // Phase 2: derive the splitting point (replication method, with
         // either the attribute-based or the interval-based approach).
@@ -785,11 +790,14 @@ impl OocProblem for PcloudsProblem<'_> {
             }
         };
 
+        proc.span_end(derive_span);
         {
             let mut st = self.build.rank(proc.rank());
             st.metrics.time_derive += proc.clock() - phase_start;
         }
-        self.conclude(proc, task, best, self.chunk())
+        proc.in_span("pclouds.partition", &[("node", id as i64)], |proc| {
+            self.conclude(proc, task, best, self.chunk())
+        })
     }
 
     /// Batched compute-dependent parallel I/O: all small nodes' data moves
@@ -798,6 +806,10 @@ impl OocProblem for PcloudsProblem<'_> {
     /// of message startups").
     fn redistribute_small(&self, proc: &mut Proc, assignments: &[(Task<NodeMeta>, usize)]) {
         let phase_start = proc.clock();
+        let span = proc.span(
+            "pclouds.small_redistribute",
+            &[("tasks", assignments.len() as i64)],
+        );
         let p = proc.nprocs();
         let chunk = self.chunk();
         // Create the destination files on their owners.
@@ -872,6 +884,7 @@ impl OocProblem for PcloudsProblem<'_> {
                 disk.delete(&Self::node_file(task.id));
             }
         }
+        proc.span_end(span);
         let mut st = self.build.rank(proc.rank());
         st.metrics.time_small_redistribute += proc.clock() - phase_start;
     }
@@ -883,6 +896,7 @@ impl OocProblem for PcloudsProblem<'_> {
 
     fn solve_small_local(&self, proc: &mut Proc, task: &Task<NodeMeta>) {
         let phase_start = proc.clock();
+        let span = proc.span("pclouds.small_solve", &[("task", task.id as i64)]);
         let records = {
             let mut disk = self.farm.lock(proc.rank());
             let f = disk.open::<Record>(&Self::owned_file(task.id));
@@ -908,6 +922,7 @@ impl OocProblem for PcloudsProblem<'_> {
             stats.record_visits * attrs * (n as f64).log2().ceil() as u64,
             ws,
         );
+        proc.span_end(span);
         let mut st = self.build.rank(proc.rank());
         st.metrics.small_solved += 1;
         st.metrics.small_records += records.len() as u64;
@@ -957,6 +972,7 @@ impl OocProblem for PcloudsProblem<'_> {
         }
 
         // --- Phase 1: per-task local statistics under the shared budget.
+        let stats_span = proc.span("pclouds.stats", &[("tasks", active.len() as i64)]);
         let mut stats_of: HashMap<usize, NodeStats> = HashMap::new();
         for &i in &active {
             let id = tasks[i].id;
@@ -977,8 +993,10 @@ impl OocProblem for PcloudsProblem<'_> {
             };
             stats_of.insert(i, stats);
         }
+        proc.span_end(stats_span);
 
         // --- Phase 2a: ONE combine per attribute for the whole level.
+        let derive_span = proc.span("pclouds.derive", &[("tasks", active.len() as i64)]);
         let mut my_candidates: Vec<(u64, Candidate)> = Vec::new();
         let mut owned_stats: Vec<(usize, pdc_clouds::AttrIntervalStats)> = Vec::new();
         for a in 0..NUM_NUMERIC {
@@ -1144,9 +1162,12 @@ impl OocProblem for PcloudsProblem<'_> {
             }
             self.elect_batch(proc, &local_exact)
         };
+        proc.span_end(derive_span);
 
         // --- Phase 3: conclude every task (partition passes are local).
-        (0..level)
+        let partition_span =
+            proc.span("pclouds.partition", &[("tasks", active.len() as i64)]);
+        let outcomes = (0..level)
             .map(|i| {
                 if !active.contains(&i) {
                     return Outcome::Solved;
@@ -1160,6 +1181,8 @@ impl OocProblem for PcloudsProblem<'_> {
                 };
                 self.conclude(proc, &tasks[i], best, chunk)
             })
-            .collect()
+            .collect();
+        proc.span_end(partition_span);
+        outcomes
     }
 }

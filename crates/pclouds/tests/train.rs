@@ -329,3 +329,83 @@ fn interval_based_matches_attribute_based() {
     assert!(spread(&attr16).is_finite());
     assert!(spread(&int16).is_finite());
 }
+
+#[test]
+fn spans_do_not_perturb_virtual_time() {
+    // Observability must be free: enabling spans and tracing cannot move a
+    // single bit of any rank's virtual clock.
+    use pdc_cgm::MachineConfig;
+    let records = generate(5_000, GeneratorConfig::default());
+    let cfg = test_config();
+    let build = |machine: MachineConfig| {
+        let farm = DiskFarm::in_memory(4);
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::with_config(4, machine);
+        train(&cluster, &farm, &root, &cfg, Strategy::Mixed)
+    };
+    let baseline = build(MachineConfig::default());
+    let observed = build(MachineConfig {
+        spans: true,
+        trace: true,
+        ..MachineConfig::default()
+    });
+    assert_eq!(baseline.tree, observed.tree);
+    for (a, b) in baseline.run.stats.iter().zip(&observed.run.stats) {
+        assert!(a.spans.is_empty());
+        assert!(!b.spans.is_empty());
+        assert_eq!(
+            a.finish_time.to_bits(),
+            b.finish_time.to_bits(),
+            "rank {}: finish time diverged with spans/trace enabled",
+            a.rank
+        );
+    }
+}
+
+#[test]
+fn span_rollups_sum_to_finish_time() {
+    // The whole run sits inside one "dnc.run" root span, and the clock
+    // only advances inside its phase spans — so per-rank span rollups must
+    // reconstruct the rank's finish time exactly.
+    use pdc_cgm::MachineConfig;
+    let records = generate(8_000, GeneratorConfig::default());
+    let cfg = test_config();
+    for strategy in [Strategy::Mixed, Strategy::DataParallel, Strategy::Concatenated] {
+        let farm = DiskFarm::in_memory(4);
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let machine = MachineConfig {
+            spans: true,
+            ..MachineConfig::default()
+        };
+        let cluster = Cluster::with_config(4, machine);
+        let out = train(&cluster, &farm, &root, &cfg, strategy);
+        let reg = out.span_metrics();
+        for s in &out.run.stats {
+            // The root span covers the rank's whole timeline.
+            let top = reg.top_level_seconds(s.rank);
+            assert!(
+                (top - s.finish_time).abs() < 1e-9,
+                "{strategy:?} rank {}: top-level spans {top} != finish {}",
+                s.rank,
+                s.finish_time
+            );
+            // Depth-1 phase spans partition the root span: the clock never
+            // advances between them.
+            let root_row = reg
+                .rank_rows(s.rank)
+                .find(|r| r.name == "dnc.run")
+                .expect("dnc.run span");
+            let depth1: f64 = reg
+                .rank_rows(s.rank)
+                .filter(|r| r.depth == 1)
+                .map(|r| r.seconds())
+                .sum();
+            assert!(
+                (depth1 - root_row.seconds()).abs() < 1e-9,
+                "{strategy:?} rank {}: phase spans {depth1} != dnc.run {}",
+                s.rank,
+                root_row.seconds()
+            );
+        }
+    }
+}
