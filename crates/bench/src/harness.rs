@@ -77,9 +77,35 @@ fn run_pclouds_on(
     strategy: Strategy,
     machine: MachineConfig,
 ) -> TrainOutput {
+    let engine = pdc_pario::EngineConfig::disabled();
+    run_pclouds_on_engine(n, p, scale, strategy, machine, &engine)
+}
+
+/// [`run_pclouds`] on a disk farm with the asynchronous engine configured
+/// by `engine` (buffer pool, replacement policy, write-back, prefetch —
+/// see [`pdc_pario::EngineConfig`]). With [`pdc_pario::EngineConfig::disabled`]
+/// this is bit-identical to [`run_pclouds`].
+pub fn run_pclouds_engine(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    engine: &pdc_pario::EngineConfig,
+) -> TrainOutput {
+    run_pclouds_on_engine(n, p, scale, strategy, machine_config(scale), engine)
+}
+
+fn run_pclouds_on_engine(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    machine: MachineConfig,
+    engine: &pdc_pario::EngineConfig,
+) -> TrainOutput {
     let config = experiment_config(n, scale);
     let stream = RecordStream::new(GeneratorConfig::default()).take(n as usize);
-    let farm = DiskFarm::in_memory(p);
+    let farm = DiskFarm::with_engine(p, pdc_pario::BackendKind::InMemory, engine);
     let root = load_dataset_stream(
         &farm,
         stream,

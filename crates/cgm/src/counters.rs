@@ -33,6 +33,14 @@ pub struct Counters {
     pub link_failures: u64,
     /// Transient disk read errors retried by fault injection.
     pub disk_retries: u64,
+    /// Buffer-pool page hits (request satisfied without touching the device).
+    pub cache_hits: u64,
+    /// Buffer-pool page misses (request had to go to the device timeline).
+    pub cache_misses: u64,
+    /// Pages evicted from the buffer pool to stay within the byte budget.
+    pub cache_evictions: u64,
+    /// Pages requested speculatively by the prefetch scheduler.
+    pub prefetches: u64,
     /// Virtual seconds spent computing.
     pub compute_time: f64,
     /// Virtual seconds spent in communication (send cost + wait-for-message).
@@ -43,6 +51,16 @@ pub struct Counters {
     /// timeouts, transient disk-error retries) — kept out of `comm_time` /
     /// `io_time` so those reflect the healthy machine's work.
     pub fault_time: f64,
+    /// Virtual seconds the compute clock stalled waiting for an asynchronous
+    /// device request to complete (`io_device_wait` past the completion time).
+    pub io_stall_time: f64,
+    /// Virtual seconds of device service that overlapped with compute instead
+    /// of stalling the consumer (`service - stall`, clamped at zero per wait).
+    pub io_overlapped_time: f64,
+    /// Total virtual seconds of service charged on the device timeline
+    /// (includes both overlapped and stalled portions, plus retry penalties
+    /// of in-flight faulted reads).
+    pub io_device_time: f64,
 }
 
 impl Counters {
@@ -74,10 +92,17 @@ impl Counters {
         self.link_delays += other.link_delays;
         self.link_failures += other.link_failures;
         self.disk_retries += other.disk_retries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.prefetches += other.prefetches;
         self.compute_time += other.compute_time;
         self.comm_time += other.comm_time;
         self.io_time += other.io_time;
         self.fault_time += other.fault_time;
+        self.io_stall_time += other.io_stall_time;
+        self.io_overlapped_time += other.io_overlapped_time;
+        self.io_device_time += other.io_device_time;
     }
 
     /// Field-wise difference `self - earlier`: the counter activity since a
@@ -99,10 +124,17 @@ impl Counters {
         d.link_delays = self.link_delays - earlier.link_delays;
         d.link_failures = self.link_failures - earlier.link_failures;
         d.disk_retries = self.disk_retries - earlier.disk_retries;
+        d.cache_hits = self.cache_hits - earlier.cache_hits;
+        d.cache_misses = self.cache_misses - earlier.cache_misses;
+        d.cache_evictions = self.cache_evictions - earlier.cache_evictions;
+        d.prefetches = self.prefetches - earlier.prefetches;
         d.compute_time = self.compute_time - earlier.compute_time;
         d.comm_time = self.comm_time - earlier.comm_time;
         d.io_time = self.io_time - earlier.io_time;
         d.fault_time = self.fault_time - earlier.fault_time;
+        d.io_stall_time = self.io_stall_time - earlier.io_stall_time;
+        d.io_overlapped_time = self.io_overlapped_time - earlier.io_overlapped_time;
+        d.io_device_time = self.io_device_time - earlier.io_device_time;
         d
     }
 }
@@ -124,14 +156,19 @@ pub struct ProcStats {
 }
 
 impl ProcStats {
-    /// Seconds not attributed to compute, comm, I/O or injected faults
-    /// (waiting at synchronization points, load imbalance).
+    /// Seconds not attributed to compute, comm, I/O, device stalls or
+    /// injected faults (waiting at synchronization points, load imbalance).
+    ///
+    /// `io_stall_time` covers the compute clock's exposure to asynchronous
+    /// device requests; `io_device_time` itself stays off this identity
+    /// because the overlapped portion runs concurrently with compute.
     pub fn idle_time(&self) -> f64 {
         (self.finish_time
             - self.counters.compute_time
             - self.counters.comm_time
             - self.counters.io_time
-            - self.counters.fault_time)
+            - self.counters.fault_time
+            - self.counters.io_stall_time)
             .max(0.0)
     }
 
@@ -199,12 +236,51 @@ mod tests {
         later.compute_time += 2.0;
         later.fault_time += 0.375;
         later.disk_read_bytes = 64;
+        later.cache_hits = 9;
+        later.cache_misses = 2;
+        later.io_stall_time = 0.25;
+        later.io_overlapped_time = 0.75;
+        later.io_device_time = 1.0;
         let d = later.delta_since(&earlier);
         assert_eq!(d.ops[OpKind::Compare.index()], 7);
         assert_eq!(d.bytes_sent, 90);
         assert_eq!(d.disk_read_bytes, 64);
+        assert_eq!(d.cache_hits, 9);
+        assert_eq!(d.cache_misses, 2);
         assert!((d.compute_time - 2.0).abs() < 1e-12);
         assert!((d.fault_time - 0.375).abs() < 1e-12);
+        assert!((d.io_stall_time - 0.25).abs() < 1e-12);
+        assert!((d.io_overlapped_time - 0.75).abs() < 1e-12);
+        assert!((d.io_device_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_includes_device_fields() {
+        let mut a = Counters {
+            io_stall_time: 0.5,
+            io_overlapped_time: 1.0,
+            io_device_time: 1.5,
+            cache_hits: 3,
+            cache_evictions: 1,
+            prefetches: 2,
+            ..Counters::default()
+        };
+        let b = Counters {
+            io_stall_time: 0.25,
+            io_overlapped_time: 0.5,
+            io_device_time: 0.75,
+            cache_hits: 4,
+            cache_evictions: 2,
+            prefetches: 1,
+            ..Counters::default()
+        };
+        a.merge(&b);
+        assert!((a.io_stall_time - 0.75).abs() < 1e-12);
+        assert!((a.io_overlapped_time - 1.5).abs() < 1e-12);
+        assert!((a.io_device_time - 2.25).abs() < 1e-12);
+        assert_eq!(a.cache_hits, 7);
+        assert_eq!(a.cache_evictions, 3);
+        assert_eq!(a.prefetches, 3);
     }
 
     #[test]
@@ -239,5 +315,24 @@ mod tests {
         };
         assert!((stats.idle_time() - 1.0).abs() < 1e-12);
         assert!((stats.fault_time() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_time_subtracts_io_stall() {
+        let stats = ProcStats {
+            rank: 0,
+            finish_time: 10.0,
+            counters: Counters {
+                compute_time: 4.0,
+                comm_time: 3.0,
+                io_stall_time: 2.0,
+                io_overlapped_time: 5.0, // overlapped: deliberately not subtracted
+                io_device_time: 7.0,
+                ..Counters::default()
+            },
+            trace: Vec::new(),
+            spans: Vec::new(),
+        };
+        assert!((stats.idle_time() - 1.0).abs() < 1e-12);
     }
 }

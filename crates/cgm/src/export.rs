@@ -9,9 +9,13 @@
 //!
 //! # Chrome trace schema
 //!
-//! One Chrome *process* per rank (`pid` = rank, `tid` = 0). Every span
-//! becomes a `B`/`E` duration-event pair with its attributes in `args`;
-//! every injected fault becomes an instant event (`ph: "i"`). Timestamps
+//! One Chrome *process* per rank (`pid` = rank). The compute timeline is
+//! `tid` 0: every span becomes a `B`/`E` duration-event pair with its
+//! attributes in `args`, and every injected fault becomes an instant event
+//! (`ph: "i"`). The rank's asynchronous I/O device timeline (see
+//! [`crate::Proc::io_device_submit`]) is `tid` 1: each request becomes a
+//! complete event (`ph: "X"`) spanning its device service window, with an
+//! instant marker when in-flight transient faults were retried. Timestamps
 //! are the virtual clock in microseconds.
 //!
 //! # Critical path
@@ -121,16 +125,51 @@ pub fn chrome_trace_json(stats: &[ProcStats]) -> String {
                 s.rank
             ));
         }
+        let mut device_lane_named = false;
         for e in &s.trace {
-            if let EventKind::Fault { kind, seconds } = &e.kind {
-                events.push(format!(
-                    "{{\"name\":\"fault:{}\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\
-                     \"tid\":0,\"s\":\"t\",\"args\":{{\"seconds\":{}}}}}",
-                    esc(kind),
-                    num(e.time * 1e6),
-                    s.rank,
-                    num(*seconds)
-                ));
+            match &e.kind {
+                EventKind::Fault { kind, seconds } => {
+                    events.push(format!(
+                        "{{\"name\":\"fault:{}\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\
+                         \"tid\":0,\"s\":\"t\",\"args\":{{\"seconds\":{}}}}}",
+                        esc(kind),
+                        num(e.time * 1e6),
+                        s.rank,
+                        num(*seconds)
+                    ));
+                }
+                EventKind::DeviceIo { read, bytes, start, end, retries } => {
+                    if !device_lane_named {
+                        events.push(format!(
+                            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\
+                             \"tid\":1,\"args\":{{\"name\":\"io device\"}}}}",
+                            s.rank
+                        ));
+                        device_lane_named = true;
+                    }
+                    events.push(format!(
+                        "{{\"name\":\"{}\",\"cat\":\"device\",\"ph\":\"X\",\
+                         \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":1,\
+                         \"args\":{{\"bytes\":{},\"retries\":{}}}}}",
+                        if *read { "device.read" } else { "device.write" },
+                        num(start * 1e6),
+                        num((end - start) * 1e6),
+                        s.rank,
+                        bytes,
+                        retries
+                    ));
+                    if *retries > 0 {
+                        events.push(format!(
+                            "{{\"name\":\"fault:disk-error-async\",\"ph\":\"i\",\
+                             \"ts\":{},\"pid\":{},\"tid\":1,\"s\":\"t\",\
+                             \"args\":{{\"retries\":{}}}}}",
+                            num(start * 1e6),
+                            s.rank,
+                            retries
+                        ));
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -160,9 +199,11 @@ pub fn metrics_jsonl(stats: &[ProcStats]) -> String {
              \"name\":\"{}\",\"attrs\":{},\"start\":{},\"end\":{},\
              \"seconds\":{},\"self_seconds\":{},\"compute_time\":{},\
              \"comm_time\":{},\"io_time\":{},\"fault_time\":{},\
+             \"io_stall_time\":{},\"io_overlapped_time\":{},\
              \"ops\":{},\"messages_sent\":{},\"bytes_sent\":{},\
              \"messages_received\":{},\"bytes_received\":{},\
-             \"disk_read_bytes\":{},\"disk_write_bytes\":{}}}\n",
+             \"disk_read_bytes\":{},\"disk_write_bytes\":{},\
+             \"cache_hits\":{},\"cache_misses\":{}}}\n",
             r.rank,
             r.index,
             parent,
@@ -177,6 +218,8 @@ pub fn metrics_jsonl(stats: &[ProcStats]) -> String {
             num(r.delta.comm_time),
             num(r.delta.io_time),
             num(r.delta.fault_time),
+            num(r.delta.io_stall_time),
+            num(r.delta.io_overlapped_time),
             r.delta.total_ops(),
             r.delta.messages_sent,
             r.delta.bytes_sent,
@@ -184,6 +227,8 @@ pub fn metrics_jsonl(stats: &[ProcStats]) -> String {
             r.delta.bytes_received,
             r.delta.disk_read_bytes,
             r.delta.disk_write_bytes,
+            r.delta.cache_hits,
+            r.delta.cache_misses,
         ));
     }
     out
@@ -846,6 +891,24 @@ mod tests {
         let rendered = cp.render();
         assert!(rendered.contains("critical path"));
         assert!(rendered.contains("test.work"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_device_lane() {
+        let mut cfg = MachineConfig::default();
+        cfg.trace = true;
+        let stats = Cluster::with_config(1, cfg)
+            .run(|proc| {
+                let t = proc.io_device_submit(1 << 20, true);
+                proc.charge(OpKind::Misc, 10);
+                proc.io_device_wait(t);
+            })
+            .stats;
+        let json = chrome_trace_json(&stats);
+        validate_json(&json).expect("chrome trace must be valid JSON");
+        assert!(json.contains("device.read"));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("io device"));
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub use export::{chrome_trace_json, critical_path, metrics_jsonl, CriticalPathRe
 pub use fault::{DegradedWindow, DiskFaults, FaultError, FaultPlan, LinkFaults};
 pub use group::Group;
 pub use metrics::{MetricsRegistry, NameSummary, SpanRow};
-pub use proc::Proc;
+pub use proc::{IoTicket, Proc};
 pub use span::{SpanAttr, SpanRecord, SpanToken};
 pub use wire::{DecodeError, Wire};

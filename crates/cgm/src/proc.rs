@@ -30,6 +30,21 @@ use crate::wire::Wire;
 /// are reserved for collectives.
 pub const RESERVED_TAG_BASE: u32 = 0xF000_0000;
 
+/// Handle to one asynchronous request on a rank's I/O device timeline.
+///
+/// Returned by [`Proc::io_device_submit`]; pass it to
+/// [`Proc::io_device_wait`] when the data is actually consumed. The compute
+/// clock is only charged for the portion of `service` that had not already
+/// completed in the background by then.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoTicket {
+    /// Device-clock time the request completes.
+    pub completion: f64,
+    /// Seconds of device service the request consumed (transfer time plus
+    /// any transient-fault retry penalties served on the device).
+    pub service: f64,
+}
+
 /// Immutable, shared state of one cluster run.
 pub struct SharedMachine {
     /// Cost model of the machine.
@@ -69,6 +84,10 @@ pub struct Proc {
     link_seq: Vec<u64>,
     /// Local-disk request sequence number (fault-decision stream).
     disk_seq: u64,
+    /// Second deterministic timeline per rank: the virtual time at which the
+    /// local I/O device becomes free. Asynchronous requests submitted via
+    /// [`Proc::io_device_submit`] serialize on it.
+    device_free: f64,
 }
 
 impl Proc {
@@ -91,6 +110,7 @@ impl Proc {
             skew,
             link_seq: vec![0; nprocs],
             disk_seq: 0,
+            device_free: 0.0,
         }
     }
 
@@ -361,6 +381,108 @@ impl Proc {
             secs = self.scaled(secs);
         }
         secs
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous I/O device timeline
+    // ------------------------------------------------------------------
+
+    /// Virtual time at which this rank's I/O device becomes free (equals the
+    /// completion time of the last submitted request; 0 before any).
+    pub fn io_device_free(&self) -> f64 {
+        self.device_free
+    }
+
+    /// Submit one asynchronous request of `bytes` to the rank's I/O device.
+    /// Panics if fault injection makes a read fail permanently — use
+    /// [`Proc::try_io_device_submit`] in fault-aware code.
+    pub fn io_device_submit(&mut self, bytes: usize, read: bool) -> IoTicket {
+        self.try_io_device_submit(bytes, read).unwrap_or_else(|e| {
+            panic!("cgm: rank {} unrecoverable device read: {e}", self.rank)
+        })
+    }
+
+    /// Fault-aware submission of one asynchronous request to the rank's I/O
+    /// device timeline. The request starts at `max(device_free, clock)`
+    /// (the device serializes, and cannot start serving before it is asked),
+    /// runs for `latency + bytes / bandwidth` seconds (degraded-bandwidth
+    /// windows and straggler skew applied as for synchronous requests) and
+    /// completes without advancing the compute clock — call
+    /// [`Proc::io_device_wait`] when the data is consumed.
+    ///
+    /// Transient read faults retry *on the device*: each failed attempt adds
+    /// [`crate::fault::DiskFaults::retry_penalty`] to the request's service
+    /// time (the consumer pays for it only through a later stall, so the
+    /// `compute+comm+io+fault+io_stall+idle == finish` identity stays exact);
+    /// when all attempts fail the submission surfaces [`FaultError::Disk`].
+    pub fn try_io_device_submit(
+        &mut self,
+        bytes: usize,
+        read: bool,
+    ) -> Result<IoTicket, FaultError> {
+        let mut service = self.disk_secs(bytes, usize::MAX);
+        let mut retries: u32 = 0;
+        if read && !self.shared.faults_inert && self.shared.faults.disk.read_error_prob > 0.0 {
+            let seq = self.disk_seq;
+            self.disk_seq += 1;
+            let prob = self.shared.faults.disk.read_error_prob;
+            let max_retries = self.shared.faults.disk.max_retries;
+            let mut attempt: u32 = 0;
+            loop {
+                let stream = [STREAM_DISK_READ, self.rank as u64, seq, attempt as u64];
+                if !self.shared.faults.decide(&stream, prob) {
+                    break;
+                }
+                service += self.scaled(self.shared.faults.disk.retry_penalty);
+                self.counters.disk_retries += 1;
+                retries += 1;
+                if attempt >= max_retries {
+                    return Err(FaultError::Disk { rank: self.rank });
+                }
+                attempt += 1;
+            }
+        }
+        let start = self.device_free.max(self.clock);
+        let completion = start + service;
+        self.device_free = completion;
+        self.counters.io_device_time += service;
+        if read {
+            self.counters.disk_reads += 1;
+            self.counters.disk_read_bytes += bytes as u64;
+        } else {
+            self.counters.disk_writes += 1;
+            self.counters.disk_write_bytes += bytes as u64;
+        }
+        self.trace_event(EventKind::DeviceIo { read, bytes, start, end: completion, retries });
+        Ok(IoTicket { completion, service })
+    }
+
+    /// Block the compute clock until `ticket`'s request has completed on the
+    /// device timeline. The exposed wait is charged as
+    /// [`crate::Counters::io_stall_time`]; the portion of the request's
+    /// service that had already run in the background is recorded as
+    /// [`crate::Counters::io_overlapped_time`].
+    pub fn io_device_wait(&mut self, ticket: IoTicket) {
+        let stall = (ticket.completion - self.clock).max(0.0);
+        if stall > 0.0 {
+            self.clock += stall;
+            self.counters.io_stall_time += stall;
+            self.trace_event(EventKind::IoStall { seconds: stall });
+        }
+        self.counters.io_overlapped_time += (ticket.service - stall).max(0.0);
+    }
+
+    /// Block the compute clock until the device is idle (every submitted
+    /// request has completed). The exposed wait is charged as
+    /// [`crate::Counters::io_stall_time`]. Unlike [`Proc::io_device_wait`]
+    /// no overlap is attributed — use per-ticket waits for that.
+    pub fn io_device_sync(&mut self) {
+        let stall = (self.device_free - self.clock).max(0.0);
+        if stall > 0.0 {
+            self.clock += stall;
+            self.counters.io_stall_time += stall;
+            self.trace_event(EventKind::IoStall { seconds: stall });
+        }
     }
 
     // ------------------------------------------------------------------

@@ -71,6 +71,27 @@ pub enum EventKind {
         /// Seconds charged for the retry, timeout or delay.
         seconds: f64,
     },
+    /// An asynchronous request serviced on the rank's I/O device timeline
+    /// (see `Proc::io_device_submit`). Recorded at submission; `start`/`end`
+    /// are device-clock times and may lie arbitrarily far ahead of the
+    /// compute clock, so the event's extent on the rank timeline is zero.
+    DeviceIo {
+        /// True for reads, false for writes.
+        read: bool,
+        /// Bytes transferred.
+        bytes: usize,
+        /// Device-clock time service began.
+        start: f64,
+        /// Device-clock completion time.
+        end: f64,
+        /// Transient read errors retried on the device before success.
+        retries: u32,
+    },
+    /// The compute clock stalled waiting for a device request to complete.
+    IoStall {
+        /// Seconds the consumer waited past its own clock.
+        seconds: f64,
+    },
 }
 
 impl EventKind {
@@ -90,6 +111,9 @@ impl EventKind {
                     *seconds
                 }
             }
+            // Device service runs on the device timeline, not the rank's.
+            EventKind::DeviceIo { .. } => 0.0,
+            EventKind::IoStall { seconds } => *seconds,
         }
     }
 }
@@ -144,6 +168,8 @@ pub fn timeline(trace: &[TraceEvent], horizon: f64, buckets: usize) -> String {
                 let class = if kind.starts_with("disk") { 2 } else { 1 };
                 add(e.time - seconds, e.time, class);
             }
+            EventKind::DeviceIo { .. } => {} // off the rank timeline
+            EventKind::IoStall { seconds } => add(e.time - seconds, e.time, 2),
         }
     }
     acc.iter()
@@ -262,6 +288,26 @@ mod tests {
                 .extent(),
             0.0
         );
+    }
+
+    #[test]
+    fn device_io_has_zero_extent_and_stall_counts_as_io() {
+        let dev = ev(
+            1.0,
+            EventKind::DeviceIo {
+                read: true,
+                bytes: 4096,
+                start: 1.0,
+                end: 5.0,
+                retries: 0,
+            },
+        );
+        assert_eq!(dev.kind.extent(), 0.0);
+        let stall = ev(2.0, EventKind::IoStall { seconds: 1.0 });
+        assert_eq!(stall.kind.extent(), 1.0);
+        // A stall dominates its bucket as disk activity; the device event
+        // contributes nothing to the rank's own timeline.
+        assert_eq!(timeline(&[dev, stall], 2.0, 2), ".D");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! Main entry points:
 //!
 //! * [`build_tree`] — in-memory CLOUDS (SS/SSE/direct),
-//! * [`derive`] — the split-derivation pieces pCLOUDS composes with
+//! * [`mod@derive`] — the split-derivation pieces pCLOUDS composes with
 //!   communication,
 //! * [`mdl_prune`] — MDL pruning,
 //! * [`accuracy`] — evaluation.

@@ -145,7 +145,7 @@ impl Candidate {
     }
 
     /// Keep the better of `current` and `challenger` (canonically smaller
-    /// key wins; see [`Candidate::key`]).
+    /// key wins; see `Candidate::key`).
     pub fn better(current: Option<Candidate>, challenger: Candidate) -> Option<Candidate> {
         match current {
             None => Some(challenger),

@@ -1,7 +1,7 @@
 //! # pdc-datagen — the synthetic classification benchmark workload
 //!
 //! The paper generates its training sets with "the data generator proposed
-//! in [SLIQ]" — the Agrawal et al. synthetic household/credit schema with
+//! in \[SLIQ\]" — the Agrawal et al. synthetic household/credit schema with
 //! six numeric attributes (salary, commission, age, hvalue, hyears, loan),
 //! three categorical attributes (elevel, car, zipcode), two classes, and a
 //! family of ten classification functions; the experiments use function 2.

@@ -1,6 +1,6 @@
 //! The benchmark record: 6 numeric + 3 categorical attributes + class label,
 //! exactly the schema the paper generates with "the data generator proposed
-//! in [SLIQ]" (Agrawal et al.'s synthetic household/credit data).
+//! in \[SLIQ\]" (Agrawal et al.'s synthetic household/credit data).
 
 use pdc_cgm::wire::{DecodeResult, Wire};
 use pdc_pario::Rec;

@@ -3,7 +3,7 @@
 //!
 //! "Execution of a problem instance is represented by a divide-and-conquer
 //! tree. The root node contains the entire data set. Each internal node
-//! represents a task [which] is split into two subtasks." Problems plug into
+//! represents a task \[which\] is split into two subtasks." Problems plug into
 //! the framework by describing how to process one task with all processors
 //! (data parallelism), how to move a small task's data to one processor
 //! (compute-dependent parallel I/O), and how to solve it there.
@@ -99,6 +99,20 @@ pub trait OocProblem: Sync {
     /// *Local.* Solve a small task entirely on this processor. The task's
     /// data is already resident on this processor's disk.
     fn solve_small_local(&self, proc: &mut Proc, task: &Task<Self::Meta>);
+
+    /// *Local hint.* The framework is about to start another task and
+    /// `task` is next in this processor's queue: an engine-backed problem
+    /// can issue asynchronous prefetch reads for the task's files so the
+    /// transfer overlaps the current task's compute. Must not change
+    /// observable state other than virtual time, and must be free when the
+    /// disk has no engine (or prefetch is off). Default: no-op.
+    fn prefetch_task(&self, _proc: &mut Proc, _task: &Task<Self::Meta>) {}
+
+    /// *Collective.* Called once when the tree is complete, still inside
+    /// the `dnc.run` span: a problem holding asynchronous engine state
+    /// flushes it here (dirty write-back, device sync) so the run's
+    /// accounting closes exactly. Default: no-op.
+    fn finish(&self, _proc: &mut Proc) {}
 
     /// *Collective.* Process a whole level of tasks together (concatenated
     /// parallelism). The default processes them one after another; problems

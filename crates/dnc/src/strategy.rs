@@ -123,6 +123,9 @@ pub fn run_with_options<P: OocProblem>(
         Strategy::Concatenated => run_concatenated(proc, problem, root_meta),
         Strategy::TaskParallel => run_task_parallel(proc, problem, root_meta),
     };
+    // Flush any asynchronous engine state inside the run span, so the
+    // span rollup still partitions the whole run's wall time.
+    problem.finish(proc);
     proc.span_end(span);
     report
 }
@@ -215,6 +218,11 @@ fn run_mixed<P: OocProblem>(
     while let Some(task) = queue.pop_front() {
         report.large_tasks += 1;
         report.max_depth = report.max_depth.max(task.depth);
+        // Task-queue lookahead: hint the next queued task so an engine can
+        // fetch its files while this task computes.
+        if let Some(next) = queue.front() {
+            problem.prefetch_task(proc, next);
+        }
         let attrs = [("task", task.id as i64), ("depth", task.depth as i64)];
         let outcome = proc.in_span("dnc.task", &attrs, |proc| {
             problem.process_large(proc, &task)
@@ -272,9 +280,16 @@ fn dispatch_small<P: OocProblem>(
     // Without recovery, idle processors are NOT regrouped — the paper notes
     // the same limitation of its implementation ("we do not regroup the
     // processors as they become idle").
-    for (task, owner) in &assignments {
+    for (i, (task, owner)) in assignments.iter().enumerate() {
         report.small_tasks += 1;
         if *owner == proc.rank() {
+            // Hint the next task this rank owns: its data can stream in
+            // while the current one is solved.
+            if let Some((next, _)) =
+                assignments[i + 1..].iter().find(|(_, o)| *o == proc.rank())
+            {
+                problem.prefetch_task(proc, next);
+            }
             let before = proc.clock();
             problem.solve_small_local(proc, task);
             report.local_small_tasks += 1;

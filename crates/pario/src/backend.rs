@@ -14,9 +14,17 @@ use std::path::PathBuf;
 pub trait Backend: Send {
     /// Append bytes at the end.
     fn append(&mut self, bytes: &[u8]);
-    /// Read `len` bytes starting at `offset`. Panics if out of range
-    /// (callers track logical lengths).
-    fn read(&mut self, offset: u64, len: usize) -> Vec<u8>;
+    /// Read exactly `buf.len()` bytes starting at `offset` into `buf`.
+    /// Panics if out of range (callers track logical lengths). This is the
+    /// hot-path primitive: it reuses the caller's buffer instead of
+    /// allocating a fresh `Vec` per chunk.
+    fn read_into(&mut self, offset: u64, buf: &mut [u8]);
+    /// Read `len` bytes starting at `offset`. Panics if out of range.
+    fn read(&mut self, offset: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read_into(offset, &mut buf);
+        buf
+    }
     /// Current length in bytes.
     fn len(&self) -> u64;
     /// Whether the file is empty.
@@ -25,6 +33,12 @@ pub trait Backend: Send {
     }
     /// Discard all contents.
     fn clear(&mut self);
+    /// The logical file was renamed to `new_name`. Backends with a physical
+    /// namespace (real files) move their storage; the in-memory backend has
+    /// nothing to do.
+    fn rename(&mut self, new_name: &str) {
+        let _ = new_name;
+    }
 }
 
 /// Heap-backed storage.
@@ -45,13 +59,13 @@ impl Backend for InMemory {
         self.data.extend_from_slice(bytes);
     }
 
-    fn read(&mut self, offset: u64, len: usize) -> Vec<u8> {
+    fn read_into(&mut self, offset: u64, buf: &mut [u8]) {
         let start = offset as usize;
         let end = start
-            .checked_add(len)
+            .checked_add(buf.len())
             .expect("read range overflow");
         assert!(end <= self.data.len(), "read past end of in-memory file");
-        self.data[start..end].to_vec()
+        buf.copy_from_slice(&self.data[start..end]);
     }
 
     fn len(&self) -> u64 {
@@ -61,6 +75,14 @@ impl Backend for InMemory {
     fn clear(&mut self) {
         self.data.clear();
     }
+}
+
+/// Replace path-hostile characters so any logical file name maps to one
+/// file name inside the rank's scratch directory.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
 }
 
 /// Real-file storage under a caller-provided directory.
@@ -100,14 +122,15 @@ impl Backend for OnDisk {
         self.len += bytes.len() as u64;
     }
 
-    fn read(&mut self, offset: u64, len: usize) -> Vec<u8> {
-        assert!(offset + len as u64 <= self.len, "read past end of file");
-        let mut buf = vec![0u8; len];
+    fn read_into(&mut self, offset: u64, buf: &mut [u8]) {
+        let end = offset
+            .checked_add(buf.len() as u64)
+            .expect("read range overflow");
+        assert!(end <= self.len, "read past end of file");
         self.file
             .seek(SeekFrom::Start(offset))
-            .and_then(|_| self.file.read_exact(&mut buf))
+            .and_then(|_| self.file.read_exact(buf))
             .expect("on-disk read failed");
-        buf
     }
 
     fn len(&self) -> u64 {
@@ -117,6 +140,21 @@ impl Backend for OnDisk {
     fn clear(&mut self) {
         self.file.set_len(0).expect("truncate failed");
         self.len = 0;
+    }
+
+    fn rename(&mut self, new_name: &str) {
+        // Keep the physical file in step with the logical namespace so a
+        // later file created under the old name cannot collide with (or
+        // truncate) this one's storage.
+        let new_path = match self.path.parent() {
+            Some(parent) => parent.join(sanitize(new_name)),
+            None => PathBuf::from(sanitize(new_name)),
+        };
+        if new_path == self.path {
+            return;
+        }
+        std::fs::rename(&self.path, &new_path).expect("on-disk rename failed");
+        self.path = new_path;
     }
 }
 
@@ -142,11 +180,7 @@ impl BackendKind {
         match self {
             BackendKind::InMemory => Box::new(InMemory::new()),
             BackendKind::OnDisk(dir) => {
-                let sanitized: String = name
-                    .chars()
-                    .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
-                    .collect();
-                let path = dir.join(format!("p{rank:03}")).join(sanitized);
+                let path = dir.join(format!("p{rank:03}")).join(sanitize(name));
                 Box::new(OnDisk::create(path).expect("create on-disk backend"))
             }
         }
@@ -192,5 +226,27 @@ mod tests {
         let mut b = InMemory::new();
         b.append(b"ab");
         b.read(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "read range overflow")]
+    fn on_disk_read_offset_overflow_panics() {
+        let dir = std::env::temp_dir().join(format!("pario-ovf-{}", std::process::id()));
+        let mut b = BackendKind::OnDisk(dir.clone()).open(0, "ovf");
+        b.append(b"abcdefgh");
+        // offset + len wraps u64: must panic on the checked add, not pass
+        // the bounds assert and fault in the read.
+        b.read(u64::MAX - 3, 8);
+    }
+
+    #[test]
+    fn read_into_reuses_the_caller_buffer() {
+        let mut b = InMemory::new();
+        b.append(b"hello world");
+        let mut buf = [0u8; 5];
+        b.read_into(6, &mut buf);
+        assert_eq!(&buf, b"world");
+        b.read_into(0, &mut buf);
+        assert_eq!(&buf, b"hello");
     }
 }

@@ -1,0 +1,404 @@
+//! Page-granular buffer pool with a bounded byte budget and pluggable
+//! replacement.
+//!
+//! The pool is **timing metadata only**: the simulated machine's data always
+//! lives in the [`crate::backend::Backend`], so a page here records whether a
+//! byte range would have been resident in a real node's buffer cache — a hit
+//! costs nothing on the device timeline, a miss is charged by the
+//! [`crate::engine::IoEngine`]. Pages are keyed by `(file id, page index)`;
+//! file ids survive renames and are never reused, so stale pages cannot
+//! alias a recreated file.
+//!
+//! Replacement is pluggable ([`ReplacementPolicy`]): classic LRU, the CLOCK
+//! second-chance approximation, and MRU — the policy of choice for repeated
+//! sequential scans over a file larger than the budget, where LRU evicts
+//! every page right before its next use (sequential flooding).
+
+use pdc_cgm::IoTicket;
+use std::collections::HashMap;
+
+/// Which page does a replacement victim come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used page.
+    Lru,
+    /// Second-chance approximation of LRU: a sweeping hand clears reference
+    /// bits and evicts the first page found unreferenced.
+    Clock,
+    /// Evict the most-recently-used page — optimal for cyclic sequential
+    /// scans that do not fit the budget (keeps a stable prefix resident).
+    Mru,
+}
+
+/// Key of one cached page: `(file id, page index within the file)`.
+pub type PageKey = (u64, u64);
+
+/// Whether a page's device request has completed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PageState {
+    /// The page is (logically) in memory.
+    Resident,
+    /// A device read for the page is in flight; the ticket carries its
+    /// completion time and this page's share of the request's service.
+    InFlight(IoTicket),
+}
+
+struct Page {
+    key: PageKey,
+    state: PageState,
+    dirty: bool,
+    pinned: bool,
+    referenced: bool,
+    last_used: u64,
+}
+
+/// A page evicted by [`BufferPool::insert`]; dirty pages must be written
+/// back by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Key of the evicted page.
+    pub key: PageKey,
+    /// Whether it held not-yet-written-back data.
+    pub dirty: bool,
+}
+
+/// Bounded pool of page frames. All operations are deterministic: victims
+/// are selected by slab scans, never by hash-map iteration order.
+pub struct BufferPool {
+    policy: ReplacementPolicy,
+    budget_pages: usize,
+    slots: Vec<Option<Page>>,
+    free: Vec<usize>,
+    map: HashMap<PageKey, usize>,
+    tick: u64,
+    hand: usize,
+}
+
+impl BufferPool {
+    /// Pool holding at most `budget_pages` pages under `policy`.
+    pub fn new(policy: ReplacementPolicy, budget_pages: usize) -> Self {
+        BufferPool {
+            policy,
+            budget_pages,
+            slots: Vec::new(),
+            free: Vec::new(),
+            map: HashMap::new(),
+            tick: 0,
+            hand: 0,
+        }
+    }
+
+    /// Number of pages currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the pool holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum pages the pool may hold.
+    pub fn budget_pages(&self) -> usize {
+        self.budget_pages
+    }
+
+    /// State of the page under `key`, if cached.
+    pub fn state(&self, key: PageKey) -> Option<PageState> {
+        self.map
+            .get(&key)
+            .map(|&i| self.slots[i].as_ref().expect("mapped slot").state)
+    }
+
+    fn page_mut(&mut self, key: PageKey) -> Option<&mut Page> {
+        let i = *self.map.get(&key)?;
+        self.slots[i].as_mut()
+    }
+
+    /// Record a use of the page (updates the recency stamp and CLOCK
+    /// reference bit). No-op when the page is not cached.
+    pub fn touch(&mut self, key: PageKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(p) = self.page_mut(key) {
+            p.last_used = tick;
+            p.referenced = true;
+        }
+    }
+
+    /// Pin (`true`) or unpin (`false`) a page: pinned pages are never chosen
+    /// as replacement victims. No-op when the page is not cached.
+    pub fn set_pinned(&mut self, key: PageKey, pinned: bool) {
+        if let Some(p) = self.page_mut(key) {
+            p.pinned = pinned;
+        }
+    }
+
+    /// Mark a cached page dirty (it holds data not yet written back).
+    pub fn mark_dirty(&mut self, key: PageKey) {
+        if let Some(p) = self.page_mut(key) {
+            p.dirty = true;
+        }
+    }
+
+    /// If the page's read is in flight, return its ticket and mark the page
+    /// resident (the caller is about to wait on it).
+    pub fn take_ticket(&mut self, key: PageKey) -> Option<IoTicket> {
+        let p = self.page_mut(key)?;
+        match p.state {
+            PageState::InFlight(t) => {
+                p.state = PageState::Resident;
+                Some(t)
+            }
+            PageState::Resident => None,
+        }
+    }
+
+    /// Insert a page, evicting at most one victim when at budget. Returns
+    /// the victim (the caller must write back dirty ones). If every frame is
+    /// pinned or in flight the pool goes transiently over budget instead of
+    /// corrupting an unevictable page. Inserting an already-cached key
+    /// updates its state in place (no eviction).
+    pub fn insert(&mut self, key: PageKey, state: PageState, dirty: bool) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(p) = self.page_mut(key) {
+            p.state = state;
+            p.dirty |= dirty;
+            p.last_used = tick;
+            p.referenced = true;
+            return None;
+        }
+        if self.budget_pages == 0 {
+            return None; // a zero-budget pool caches nothing
+        }
+        let evicted = if self.map.len() >= self.budget_pages {
+            self.evict_one()
+        } else {
+            None
+        };
+        let page = Page {
+            key,
+            state,
+            dirty,
+            pinned: false,
+            referenced: true,
+            last_used: tick,
+        };
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(page);
+                i
+            }
+            None => {
+                self.slots.push(Some(page));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        evicted
+    }
+
+    /// Whether slot `i` holds an evictable page (resident, unpinned).
+    fn evictable(&self, i: usize) -> bool {
+        matches!(
+            &self.slots[i],
+            Some(p) if !p.pinned && matches!(p.state, PageState::Resident)
+        )
+    }
+
+    fn evict_slot(&mut self, i: usize) -> Evicted {
+        let p = self.slots[i].take().expect("evicting empty slot");
+        self.map.remove(&p.key);
+        self.free.push(i);
+        Evicted { key: p.key, dirty: p.dirty }
+    }
+
+    fn evict_one(&mut self) -> Option<Evicted> {
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                let victim = (0..self.slots.len())
+                    .filter(|&i| self.evictable(i))
+                    .min_by_key(|&i| self.slots[i].as_ref().unwrap().last_used)?;
+                Some(self.evict_slot(victim))
+            }
+            ReplacementPolicy::Mru => {
+                let victim = (0..self.slots.len())
+                    .filter(|&i| self.evictable(i))
+                    .max_by_key(|&i| self.slots[i].as_ref().unwrap().last_used)?;
+                Some(self.evict_slot(victim))
+            }
+            ReplacementPolicy::Clock => {
+                let n = self.slots.len();
+                if n == 0 {
+                    return None;
+                }
+                // Two full sweeps: the first may only clear reference bits,
+                // the second must then find an unreferenced page unless
+                // everything is pinned or in flight.
+                for _ in 0..2 * n {
+                    let i = self.hand;
+                    self.hand = (self.hand + 1) % n;
+                    if !self.evictable(i) {
+                        continue;
+                    }
+                    let p = self.slots[i].as_mut().unwrap();
+                    if p.referenced {
+                        p.referenced = false;
+                    } else {
+                        return Some(self.evict_slot(i));
+                    }
+                }
+                // All evictable pages kept their reference bit set between
+                // sweeps (impossible) or none are evictable: fall back to
+                // the first evictable slot, if any.
+                let victim = (0..n).find(|&i| self.evictable(i))?;
+                Some(self.evict_slot(victim))
+            }
+        }
+    }
+
+    /// Drop every page of `file` (deleted or truncated: its dirty pages no
+    /// longer need write-back). Returns how many pages were dropped.
+    pub fn invalidate_file(&mut self, file: u64) -> usize {
+        let mut dropped = 0;
+        for i in 0..self.slots.len() {
+            if matches!(&self.slots[i], Some(p) if p.key.0 == file) {
+                self.evict_slot(i);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Clear the dirty flag on every resident page, returning their keys
+    /// sorted (deterministic flush order for write-back).
+    pub fn drain_dirty(&mut self) -> Vec<PageKey> {
+        let mut keys = Vec::new();
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.dirty {
+                slot.dirty = false;
+                keys.push(slot.key);
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Mark every in-flight page resident (used after a device sync: the
+    /// device is idle, so every outstanding request has completed).
+    pub fn settle_all(&mut self) {
+        for slot in self.slots.iter_mut().flatten() {
+            slot.state = PageState::Resident;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(f: u64, p: u64) -> PageKey {
+        (f, p)
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_page() {
+        let mut pool = BufferPool::new(ReplacementPolicy::Lru, 2);
+        assert!(pool.insert(k(0, 0), PageState::Resident, false).is_none());
+        assert!(pool.insert(k(0, 1), PageState::Resident, false).is_none());
+        pool.touch(k(0, 0)); // 0 is now warmer than 1
+        let ev = pool.insert(k(0, 2), PageState::Resident, false).unwrap();
+        assert_eq!(ev.key, k(0, 1));
+        assert!(pool.state(k(0, 0)).is_some());
+        assert!(pool.state(k(0, 2)).is_some());
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn mru_keeps_a_stable_prefix_under_cyclic_scan() {
+        let mut pool = BufferPool::new(ReplacementPolicy::Mru, 3);
+        // Two cyclic scans over 5 pages. MRU keeps an early prefix resident,
+        // so the second scan hits at least its first pages; LRU would evict
+        // each page right before its reuse and hit nothing.
+        for _ in 0..2 {
+            for p in 0..5 {
+                if pool.state(k(0, p)).is_none() {
+                    pool.insert(k(0, p), PageState::Resident, false);
+                } else {
+                    pool.touch(k(0, p));
+                }
+            }
+        }
+        assert!(pool.state(k(0, 0)).is_some(), "MRU must keep the prefix");
+
+        let mut lru = BufferPool::new(ReplacementPolicy::Lru, 3);
+        for _ in 0..2 {
+            for p in 0..5 {
+                if lru.state(k(0, p)).is_none() {
+                    lru.insert(k(0, p), PageState::Resident, false);
+                } else {
+                    lru.touch(k(0, p));
+                }
+            }
+        }
+        assert!(lru.state(k(0, 0)).is_none(), "LRU floods on a cyclic scan");
+    }
+
+    #[test]
+    fn clock_gives_referenced_pages_a_second_chance() {
+        let mut pool = BufferPool::new(ReplacementPolicy::Clock, 2);
+        pool.insert(k(0, 0), PageState::Resident, false);
+        pool.insert(k(0, 1), PageState::Resident, false);
+        pool.touch(k(0, 0));
+        pool.touch(k(0, 1));
+        // Both referenced: the hand clears page 0's bit, then page 1's,
+        // wraps, and evicts page 0 (first unreferenced).
+        let ev = pool.insert(k(0, 2), PageState::Resident, false).unwrap();
+        assert_eq!(ev.key, k(0, 0));
+    }
+
+    #[test]
+    fn pinned_pages_are_never_victims() {
+        let mut pool = BufferPool::new(ReplacementPolicy::Lru, 1);
+        pool.insert(k(0, 0), PageState::Resident, true);
+        pool.set_pinned(k(0, 0), true);
+        // Budget forces an eviction but the only candidate is pinned: the
+        // pool transiently exceeds its budget rather than evicting it.
+        assert!(pool.insert(k(0, 1), PageState::Resident, false).is_none());
+        assert_eq!(pool.len(), 2);
+        pool.set_pinned(k(0, 0), false);
+        let ev = pool.insert(k(0, 2), PageState::Resident, false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.key, k(0, 0));
+    }
+
+    #[test]
+    fn invalidate_drops_only_that_file() {
+        let mut pool = BufferPool::new(ReplacementPolicy::Lru, 8);
+        pool.insert(k(1, 0), PageState::Resident, true);
+        pool.insert(k(1, 1), PageState::Resident, false);
+        pool.insert(k(2, 0), PageState::Resident, false);
+        assert_eq!(pool.invalidate_file(1), 2);
+        assert!(pool.state(k(1, 0)).is_none());
+        assert!(pool.state(k(2, 0)).is_some());
+    }
+
+    #[test]
+    fn drain_dirty_is_sorted_and_clears_flags() {
+        let mut pool = BufferPool::new(ReplacementPolicy::Lru, 8);
+        pool.insert(k(2, 1), PageState::Resident, true);
+        pool.insert(k(1, 3), PageState::Resident, true);
+        pool.insert(k(1, 0), PageState::Resident, false);
+        assert_eq!(pool.drain_dirty(), vec![k(1, 3), k(2, 1)]);
+        assert!(pool.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn zero_budget_pool_caches_nothing() {
+        let mut pool = BufferPool::new(ReplacementPolicy::Lru, 0);
+        assert!(pool.insert(k(0, 0), PageState::Resident, false).is_none());
+        assert!(pool.is_empty());
+        assert!(pool.state(k(0, 0)).is_none());
+    }
+}

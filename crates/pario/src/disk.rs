@@ -12,6 +12,8 @@ use std::marker::PhantomData;
 use pdc_cgm::Proc;
 
 use crate::backend::{Backend, BackendKind};
+use crate::engine::{EngineConfig, IoEngine};
+use crate::prefetch::ReadAhead;
 use crate::rec::{decode_batch, encode_batch, Rec};
 
 /// Typed handle to a file on some [`NodeDisk`]. Cheap to clone; the data
@@ -47,6 +49,9 @@ struct FileEntry {
     backend: Box<dyn Backend>,
     rec_bytes: usize,
     records: usize,
+    /// Engine page-cache key: survives renames, never reused, so stale
+    /// pages cannot alias a recreated file.
+    id: u64,
 }
 
 /// The local disk of one virtual processor.
@@ -54,16 +59,38 @@ pub struct NodeDisk {
     rank: usize,
     kind: BackendKind,
     files: HashMap<String, FileEntry>,
+    /// Asynchronous disk engine (buffer pool + device timeline); `None`
+    /// routes every request through the legacy synchronous path.
+    engine: Option<IoEngine>,
+    next_file_id: u64,
+    /// Reusable read buffer so chunked scans do not allocate per chunk.
+    scratch: Vec<u8>,
 }
 
 impl NodeDisk {
-    /// Empty disk for processor `rank` with physical storage `kind`.
+    /// Empty disk for processor `rank` with physical storage `kind`, using
+    /// the legacy synchronous I/O path.
     pub fn new(rank: usize, kind: BackendKind) -> Self {
+        Self::with_engine(rank, kind, &EngineConfig::disabled())
+    }
+
+    /// Empty disk with an asynchronous engine per `cfg`. A disabled config
+    /// attaches no engine at all, leaving the synchronous path bit-identical
+    /// to [`NodeDisk::new`].
+    pub fn with_engine(rank: usize, kind: BackendKind, cfg: &EngineConfig) -> Self {
         NodeDisk {
             rank,
             kind,
             files: HashMap::new(),
+            engine: cfg.is_enabled().then(|| IoEngine::new(cfg)),
+            next_file_id: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Whether an asynchronous engine is attached.
+    pub fn has_engine(&self) -> bool {
+        self.engine.is_some()
     }
 
     /// Owning processor's rank.
@@ -74,14 +101,23 @@ impl NodeDisk {
     /// Create (or truncate) a typed file.
     pub fn create<R: Rec>(&mut self, name: &str) -> TypedFile<R> {
         let backend = self.kind.open(self.rank, name);
-        self.files.insert(
+        let id = self.next_file_id;
+        self.next_file_id += 1;
+        let replaced = self.files.insert(
             name.to_string(),
             FileEntry {
                 backend,
                 rec_bytes: R::ENCODED_BYTES,
                 records: 0,
+                id,
             },
         );
+        if let Some(engine) = &mut self.engine {
+            if let Some(old) = &replaced {
+                engine.invalidate_file(old.id);
+            }
+            engine.note_file_len(id, 0);
+        }
         TypedFile {
             name: name.to_string(),
             _marker: PhantomData,
@@ -115,17 +151,32 @@ impl NodeDisk {
         self.files.keys().cloned().collect()
     }
 
-    /// Delete a file, reclaiming its space.
+    /// Delete a file, reclaiming its space. Cached pages are invalidated;
+    /// dirty pages of a deleted scratch file never pay write-back.
     pub fn delete(&mut self, name: &str) {
-        self.files.remove(name);
+        if let Some(entry) = self.files.remove(name) {
+            if let Some(engine) = &mut self.engine {
+                engine.invalidate_file(entry.id);
+            }
+        }
     }
 
-    /// Rename a file (destination is overwritten if present).
+    /// Rename a file (destination is overwritten if present). The physical
+    /// backend moves its storage too, so a file later created under the old
+    /// name cannot collide with this one's bytes.
     pub fn rename(&mut self, old: &str, new: &str) {
-        let entry = self
+        let mut entry = self
             .files
             .remove(old)
             .unwrap_or_else(|| panic!("rename: no file named {old:?}"));
+        // Drop any displaced destination first: its backend cleans up its
+        // own storage, which must not race with the file we move in.
+        if let Some(displaced) = self.files.remove(new) {
+            if let Some(engine) = &mut self.engine {
+                engine.invalidate_file(displaced.id);
+            }
+        }
+        entry.backend.rename(new);
         self.files.insert(new.to_string(), entry);
     }
 
@@ -152,14 +203,26 @@ impl NodeDisk {
     }
 
     /// Append a batch of records as one write request, charging `proc`.
+    /// With an engine the pages go dirty in the buffer pool (write-back:
+    /// the device is charged asynchronously on eviction or sync); without
+    /// one the write is charged synchronously.
     pub fn append<R: Rec>(&mut self, proc: &mut Proc, file: &TypedFile<R>, records: &[R]) {
         if records.is_empty() {
             return;
         }
         let bytes = encode_batch(records);
-        let entry = self.entry_mut(file);
-        let ws = entry.backend.len() as usize + bytes.len();
-        proc.disk_write_ws(bytes.len(), ws);
+        let entry = self
+            .files
+            .get_mut(&file.name)
+            .unwrap_or_else(|| panic!("file {:?} missing (deleted?)", file.name));
+        let old_len = entry.backend.len();
+        match &mut self.engine {
+            Some(engine) => engine.append(proc, entry.id, old_len, bytes.len()),
+            None => {
+                let ws = old_len as usize + bytes.len();
+                proc.disk_write_ws(bytes.len(), ws);
+            }
+        }
         entry.backend.append(&bytes);
         entry.records += records.len();
     }
@@ -195,7 +258,10 @@ impl NodeDisk {
         if count == 0 {
             return Ok(Vec::new());
         }
-        let entry = self.entry_mut(file);
+        let entry = self
+            .files
+            .get_mut(&file.name)
+            .unwrap_or_else(|| panic!("file {:?} missing (deleted?)", file.name));
         assert!(
             start + count <= entry.records,
             "read_range [{start}, {}) past end ({} records) of {:?}",
@@ -204,11 +270,14 @@ impl NodeDisk {
             file.name
         );
         let nbytes = count * R::ENCODED_BYTES;
-        proc.try_disk_read_ws(nbytes, entry.records * R::ENCODED_BYTES)?;
-        let bytes = entry
-            .backend
-            .read((start * R::ENCODED_BYTES) as u64, nbytes);
-        Ok(decode_batch(&bytes))
+        let offset = (start * R::ENCODED_BYTES) as u64;
+        match &mut self.engine {
+            Some(engine) => engine.read(proc, entry.id, offset, nbytes)?,
+            None => proc.try_disk_read_ws(nbytes, entry.records * R::ENCODED_BYTES)?,
+        }
+        self.scratch.resize(nbytes, 0);
+        entry.backend.read_into(offset, &mut self.scratch[..nbytes]);
+        Ok(decode_batch(&self.scratch[..nbytes]))
     }
 
     /// Read the whole file in one request (callers use this only for files
@@ -228,9 +297,17 @@ impl NodeDisk {
             return;
         }
         let bytes = encode_batch(records);
-        let entry = self.entry_mut(file);
+        let entry = self
+            .files
+            .get_mut(&file.name)
+            .unwrap_or_else(|| panic!("file {:?} missing (deleted?)", file.name));
         entry.backend.append(&bytes);
         entry.records += records.len();
+        if let Some(engine) = &mut self.engine {
+            // Keep the engine's length map accurate; pre-loaded data is not
+            // dirty (it was never "written" on the virtual machine).
+            engine.note_file_len(entry.id, entry.backend.len());
+        }
     }
 
     /// Read the whole file **without charging any virtual time** — for
@@ -246,13 +323,62 @@ impl NodeDisk {
     }
 
     /// Chunked sequential reader over `file` with a bounded per-chunk record
-    /// count (the out-of-core memory budget).
+    /// count (the out-of-core memory budget). When the disk has a
+    /// prefetching engine the reader requests each next chunk speculatively
+    /// while the caller processes the current one.
     pub fn reader<R: Rec>(&self, file: &TypedFile<R>, chunk_records: usize) -> ChunkedReader<R> {
         assert!(chunk_records > 0, "chunk_records must be positive");
         ChunkedReader {
             file: file.clone(),
             cursor: 0,
             chunk_records,
+            ahead: ReadAhead::new(chunk_records),
+        }
+    }
+
+    /// Hint: records `[start, start + count)` of `file` will be read soon.
+    /// Issues speculative device reads for their missing pages; a no-op
+    /// without a prefetching engine.
+    pub fn prefetch_range<R: Rec>(
+        &mut self,
+        proc: &mut Proc,
+        file: &TypedFile<R>,
+        start: usize,
+        count: usize,
+    ) {
+        let Some(engine) = &mut self.engine else { return };
+        if !engine.prefetch_enabled() || count == 0 {
+            return;
+        }
+        let Some(entry) = self.files.get(&file.name) else { return };
+        let offset = (start * R::ENCODED_BYTES) as u64;
+        engine.prefetch(proc, entry.id, offset, count * R::ENCODED_BYTES);
+    }
+
+    /// Hint: the whole file named `name` will be read soon (task lookahead
+    /// from the scheduler). Untyped so schedulers need not know record
+    /// types; capped by the engine at half the pool budget. A no-op when
+    /// the file does not exist or there is no prefetching engine.
+    pub fn prefetch_file_by_name(&mut self, proc: &mut Proc, name: &str) {
+        let Some(engine) = &mut self.engine else { return };
+        if !engine.prefetch_enabled() {
+            return;
+        }
+        let Some(entry) = self.files.get(name) else { return };
+        let len = entry.backend.len();
+        if len > 0 {
+            engine.prefetch(proc, entry.id, 0, len as usize);
+        }
+    }
+
+    /// Flush dirty pages and drain the device timeline (see
+    /// [`crate::engine::IoEngine::sync`]). A no-op — including no span —
+    /// without an engine, preserving the disabled path's bit-identity.
+    pub fn sync_engine(&mut self, proc: &mut Proc) {
+        if let Some(engine) = &mut self.engine {
+            let token = proc.span("pario.cache.sync", &[]);
+            engine.sync(proc);
+            proc.span_end(token);
         }
     }
 }
@@ -263,10 +389,14 @@ pub struct ChunkedReader<R> {
     file: TypedFile<R>,
     cursor: usize,
     chunk_records: usize,
+    ahead: ReadAhead,
 }
 
 impl<R: Rec> ChunkedReader<R> {
-    /// Read the next chunk, or `None` at end of file.
+    /// Read the next chunk, or `None` at end of file. With a prefetching
+    /// engine the following chunk is requested speculatively before this
+    /// one is returned, overlapping its device time with the caller's
+    /// processing of the current chunk.
     pub fn next_chunk(&mut self, disk: &mut NodeDisk, proc: &mut Proc) -> Option<Vec<R>> {
         let total = disk.num_records(&self.file);
         if self.cursor >= total {
@@ -275,6 +405,9 @@ impl<R: Rec> ChunkedReader<R> {
         let count = self.chunk_records.min(total - self.cursor);
         let out = disk.read_range(proc, &self.file, self.cursor, count);
         self.cursor += count;
+        if let Some((start, ahead)) = self.ahead.next_window(self.cursor, total) {
+            disk.prefetch_range(proc, &self.file, start, ahead);
+        }
         Some(out)
     }
 

@@ -17,6 +17,7 @@ use parking_lot::{Mutex, MutexGuard};
 
 use crate::backend::BackendKind;
 use crate::disk::NodeDisk;
+use crate::engine::EngineConfig;
 
 /// Per-processor local disks of a `p`-processor machine.
 pub struct DiskFarm {
@@ -34,6 +35,17 @@ impl DiskFarm {
     /// In-memory farm (the default for tests and benches).
     pub fn in_memory(p: usize) -> Self {
         Self::new(p, BackendKind::InMemory)
+    }
+
+    /// A farm whose disks carry an asynchronous engine per `cfg` (buffer
+    /// pool, write-back, prefetch — see [`crate::engine`]). With
+    /// [`EngineConfig::disabled`] this is exactly [`DiskFarm::new`].
+    pub fn with_engine(p: usize, kind: BackendKind, cfg: &EngineConfig) -> Self {
+        DiskFarm {
+            nodes: (0..p)
+                .map(|r| Mutex::new(NodeDisk::with_engine(r, kind.clone(), cfg)))
+                .collect(),
+        }
     }
 
     /// Number of disks.

@@ -10,9 +10,14 @@
 //!   ([`TypedFile`]) with chunked, *cost-charged* reads and writes;
 //! * [`ChunkedReader`] / [`BufferedWriter`] — streaming access within a
 //!   memory budget (the paper's "memory limit");
-//! * [`redistribute`] — compute-dependent parallel I/O: read → personalized
+//! * [`fn@redistribute`] — compute-dependent parallel I/O: read → personalized
 //!   all-to-all → write, the operation that moves a subtask's data to its
 //!   assigned processor group;
+//! * the asynchronous disk engine ([`engine`], [`cache`], [`prefetch`]) —
+//!   a per-rank buffer pool with pluggable replacement, write-back, and
+//!   compute-independent prefetch on the machine's I/O device timeline
+//!   (off by default; [`EngineConfig::disabled`] keeps the synchronous
+//!   path bit-identical);
 //! * two physical backends — RAM-backed (default) and real files — that
 //!   charge identical virtual I/O costs.
 
@@ -35,13 +40,19 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod disk;
+pub mod engine;
 pub mod farm;
+pub mod prefetch;
 pub mod rec;
 pub mod redistribute;
 
 pub use backend::{Backend, BackendKind, InMemory, OnDisk};
+pub use cache::{BufferPool, ReplacementPolicy};
 pub use disk::{BufferedWriter, ChunkedReader, NodeDisk, TypedFile};
+pub use engine::{EngineConfig, IoEngine};
 pub use farm::DiskFarm;
+pub use prefetch::ReadAhead;
 pub use rec::{decode_batch, encode_batch, Rec};
 pub use redistribute::redistribute;

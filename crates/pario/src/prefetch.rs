@@ -1,0 +1,58 @@
+//! Prefetch scheduling: turning access patterns into speculative reads.
+//!
+//! Two hint sources feed [`crate::engine::IoEngine::prefetch`]:
+//!
+//! * **Task lookahead** — when the `dnc` scheduler starts task *k*, it hints
+//!   the files of task *k+1* (see `OocProblem::prefetch_task` in `pdc-dnc`),
+//!   so the next task's first read finds its pages in flight or resident.
+//!   This is the paper's *compute-independent* parallel I/O: device transfer
+//!   for future work overlapped with current compute.
+//! * **Sequential read-ahead** — [`ReadAhead`] rides inside
+//!   [`crate::ChunkedReader`]: after each chunk is consumed it requests the
+//!   next window, so a streaming scan hides one chunk of device time behind
+//!   each chunk of compute.
+
+/// Sequential read-ahead policy for a chunked scan: after the cursor
+/// advances, speculatively request the next `window_records` records.
+#[derive(Debug, Clone)]
+pub struct ReadAhead {
+    window_records: usize,
+}
+
+impl ReadAhead {
+    /// Read ahead one window of `window_records` (typically the scan's own
+    /// chunk size: each chunk of compute hides the next chunk of I/O).
+    pub fn new(window_records: usize) -> Self {
+        assert!(window_records > 0, "window_records must be positive");
+        ReadAhead { window_records }
+    }
+
+    /// The `(start, count)` record range to request after the scan cursor
+    /// reached `cursor` of `total` records, or `None` at end of file.
+    pub fn next_window(&self, cursor: usize, total: usize) -> Option<(usize, usize)> {
+        if cursor >= total {
+            return None;
+        }
+        Some((cursor, self.window_records.min(total - cursor)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_track_the_cursor_and_clamp_at_eof() {
+        let ra = ReadAhead::new(10);
+        assert_eq!(ra.next_window(0, 25), Some((0, 10)));
+        assert_eq!(ra.next_window(10, 25), Some((10, 10)));
+        assert_eq!(ra.next_window(20, 25), Some((20, 5)));
+        assert_eq!(ra.next_window(25, 25), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window_records must be positive")]
+    fn zero_window_is_rejected() {
+        let _ = ReadAhead::new(0);
+    }
+}

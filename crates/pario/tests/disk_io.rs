@@ -2,8 +2,8 @@
 //! writers, and — crucially for the reproduction — the virtual-time cost
 //! accounting of every I/O request.
 
-use pdc_cgm::{Cluster, MachineConfig};
-use pdc_pario::{BufferedWriter, DiskFarm};
+use pdc_cgm::{Cluster, FaultPlan, MachineConfig};
+use pdc_pario::{BackendKind, BufferedWriter, DiskFarm};
 
 #[test]
 fn read_write_roundtrip_and_ranges() {
@@ -136,6 +136,78 @@ fn delete_reclaims_space_and_uncharged_helpers_are_free() {
         assert_eq!(disk.used_bytes(), 0);
     }
     assert_eq!(farm.used_bytes(), 0);
+}
+
+/// Rename must move the physical storage with the logical name: after
+/// renaming, re-creating a file under the *old* name must not truncate or
+/// alias the renamed file's bytes. (This is the regression test for the
+/// on-disk backend leaving its scratch file at the old path.)
+fn rename_keeps_data_after_old_name_is_reused(kind: BackendKind) {
+    let farm = DiskFarm::new(1, kind);
+    let mut disk = farm.lock(0);
+    let a = disk.create::<u64>("a");
+    disk.append_uncharged(&a, &[1, 2, 3]);
+    disk.rename("a", "b");
+    assert!(!disk.exists("a"));
+    let b = disk.open::<u64>("b");
+    // Re-create "a": with the old bug this truncated b's on-disk bytes.
+    let a2 = disk.create::<u64>("a");
+    disk.append_uncharged(&a2, &[9, 9]);
+    assert_eq!(disk.read_all_uncharged(&b), vec![1, 2, 3]);
+    assert_eq!(disk.read_all_uncharged(&a2), vec![9, 9]);
+    // Rename over an existing destination replaces it cleanly.
+    disk.rename("a", "b");
+    let b2 = disk.open::<u64>("b");
+    assert_eq!(disk.read_all_uncharged(&b2), vec![9, 9]);
+}
+
+#[test]
+fn rename_in_memory_backend() {
+    rename_keeps_data_after_old_name_is_reused(BackendKind::InMemory);
+}
+
+#[test]
+fn rename_on_disk_backend() {
+    let dir = std::env::temp_dir().join(format!("pario-rename-{}", std::process::id()));
+    rename_keeps_data_after_old_name_is_reused(BackendKind::OnDisk(dir.clone()));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn streaming_roundtrip_under_transient_disk_faults() {
+    // ChunkedReader + BufferedWriter under injected transient read errors:
+    // retries must charge the clock and the data must round-trip exactly.
+    let p = 2;
+    let farm = DiskFarm::in_memory(p);
+    let mut faults = FaultPlan::with_seed(41);
+    faults.disk.read_error_prob = 0.2;
+    let cluster = Cluster::with_config(p, MachineConfig { faults, ..MachineConfig::default() });
+    let out = cluster.run(|proc| {
+        let mut disk = farm.lock(proc.rank());
+        let f = disk.create::<u64>("stream");
+        let mut w = BufferedWriter::new(f.clone(), 16);
+        let data: Vec<u64> = (0..300).map(|i| i * 7 + proc.rank() as u64).collect();
+        for &v in &data {
+            w.push(&mut disk, proc, v);
+        }
+        w.flush(&mut disk, proc);
+        let mut reader = disk.reader(&f, 16);
+        let mut back = Vec::new();
+        while let Some(chunk) = reader.next_chunk(&mut disk, proc) {
+            back.push(chunk);
+        }
+        let flat: Vec<u64> = back.into_iter().flatten().collect();
+        assert_eq!(flat, data, "decoded data must round-trip under faults");
+        (proc.counters.disk_retries, proc.counters.fault_time, proc.clock())
+    });
+    let retries: u64 = out.results.iter().map(|&(r, _, _)| r).sum();
+    assert!(retries > 0, "20% error rate over ~40 reads must retry");
+    for &(r, fault_time, clock) in &out.results {
+        if r > 0 {
+            assert!(fault_time > 0.0, "retries must charge fault time");
+            assert!(clock >= fault_time, "fault time rides on the clock");
+        }
+    }
 }
 
 #[test]

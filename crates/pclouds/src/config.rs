@@ -23,7 +23,7 @@ pub struct PcloudsConfig {
     pub clouds: CloudsParams,
     /// Per-processor memory budget for streaming out-of-core passes, in
     /// bytes. The paper "used a memory limit of 1 MB for 6.0 million tuples
-    /// [and] linearly scaled [it] based on the size for other data sets".
+    /// \[and\] linearly scaled \[it\] based on the size for other data sets".
     pub memory_limit_bytes: usize,
     /// Switch from data parallelism to (delayed) task parallelism when a
     /// node's interval count drops to this value — "we used a value of ten

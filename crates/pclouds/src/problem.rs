@@ -930,6 +930,28 @@ impl OocProblem for PcloudsProblem<'_> {
         st.local_subtrees.push((task.id, subtree));
     }
 
+    /// Task-queue lookahead from the framework: issue asynchronous prefetch
+    /// reads for the next task's data file so the transfer rides under the
+    /// current task's compute. Small tasks read their single-owner file;
+    /// everything else reads the distributed node file. Free (and silent)
+    /// when the disk farm has no prefetching engine.
+    fn prefetch_task(&self, proc: &mut Proc, task: &Task<NodeMeta>) {
+        let mut disk = self.farm.lock(proc.rank());
+        let owned = Self::owned_file(task.id);
+        if disk.exists(&owned) {
+            disk.prefetch_file_by_name(proc, &owned);
+        } else {
+            disk.prefetch_file_by_name(proc, &Self::node_file(task.id));
+        }
+    }
+
+    /// End of the run: flush dirty write-back pages and drain the I/O
+    /// device timeline so the tree build's accounting closes exactly.
+    fn finish(&self, proc: &mut Proc) {
+        let mut disk = self.farm.lock(proc.rank());
+        disk.sync_engine(proc);
+    }
+
     /// **Concatenated parallelism** (Section 3.3): process a whole tree
     /// level together, spooling the level's communication into batched
     /// collectives (one attribute-statistics combine for *all* nodes, one

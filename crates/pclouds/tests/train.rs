@@ -409,3 +409,118 @@ fn span_rollups_sum_to_finish_time() {
         }
     }
 }
+
+#[test]
+fn engine_disabled_farm_is_bit_identical() {
+    // A farm built through the engine constructor with the engine disabled
+    // must reproduce the plain farm's virtual times and counters exactly.
+    use pdc_pario::{BackendKind, EngineConfig};
+    let records = generate(4_000, GeneratorConfig::default());
+    let cfg = test_config();
+    let build = |farm: DiskFarm| {
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::new(4);
+        train(&cluster, &farm, &root, &cfg, Strategy::Mixed)
+    };
+    let baseline = build(DiskFarm::in_memory(4));
+    let disabled = build(DiskFarm::with_engine(
+        4,
+        BackendKind::InMemory,
+        &EngineConfig::disabled(),
+    ));
+    assert_eq!(baseline.tree, disabled.tree);
+    for (a, b) in baseline.run.stats.iter().zip(&disabled.run.stats) {
+        assert_eq!(
+            a.finish_time.to_bits(),
+            b.finish_time.to_bits(),
+            "rank {}: disabled engine perturbed the clock",
+            a.rank
+        );
+        assert_eq!(a.counters, b.counters, "rank {}: counters diverged", a.rank);
+    }
+}
+
+#[test]
+fn engine_enabled_trains_the_same_tree_with_exact_accounting() {
+    // The asynchronous engine changes *when* I/O time is paid, never what
+    // is computed: the tree is identical, and every rank's time budget
+    // still partitions exactly into the five accounted categories.
+    use pdc_pario::{BackendKind, EngineConfig, ReplacementPolicy};
+    let records = generate(6_000, GeneratorConfig::default());
+    let cfg = test_config();
+    let build = |farm: DiskFarm| {
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::new(4);
+        train(&cluster, &farm, &root, &cfg, Strategy::Mixed)
+    };
+    let baseline = build(DiskFarm::in_memory(4));
+    let engine_cfg = EngineConfig::new(1024 * 1024, ReplacementPolicy::Lru, true);
+    let engined = build(DiskFarm::with_engine(4, BackendKind::InMemory, &engine_cfg));
+    assert_eq!(baseline.tree, engined.tree, "engine must not change the tree");
+    let mut cache_traffic = 0u64;
+    for s in &engined.run.stats {
+        let c = &s.counters;
+        cache_traffic += c.cache_hits + c.cache_misses;
+        let sum = c.compute_time
+            + c.comm_time
+            + c.io_time
+            + c.fault_time
+            + c.io_stall_time
+            + s.idle_time();
+        assert!(
+            (sum - s.finish_time).abs() < 1e-9,
+            "rank {}: accounting identity broke: {sum} vs {}",
+            s.rank,
+            s.finish_time
+        );
+    }
+    assert!(cache_traffic > 0, "the engine must actually see the reads");
+}
+
+#[test]
+fn engine_span_rollups_still_partition_the_run() {
+    // With the engine (and its pario.cache.sync span) enabled, depth-1
+    // phase spans must still partition dnc.run exactly — stalls are always
+    // charged inside some span.
+    use pdc_cgm::MachineConfig;
+    use pdc_pario::{BackendKind, EngineConfig, ReplacementPolicy};
+    let records = generate(6_000, GeneratorConfig::default());
+    let cfg = test_config();
+    let farm = DiskFarm::with_engine(
+        4,
+        BackendKind::InMemory,
+        &EngineConfig::new(512 * 1024, ReplacementPolicy::Clock, true),
+    );
+    let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+    let machine = MachineConfig {
+        spans: true,
+        ..MachineConfig::default()
+    };
+    let cluster = Cluster::with_config(4, machine);
+    let out = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
+    let reg = out.span_metrics();
+    for s in &out.run.stats {
+        let top = reg.top_level_seconds(s.rank);
+        assert!(
+            (top - s.finish_time).abs() < 1e-9,
+            "rank {}: top-level spans {top} != finish {}",
+            s.rank,
+            s.finish_time
+        );
+        let root_row = reg
+            .rank_rows(s.rank)
+            .find(|r| r.name == "dnc.run")
+            .expect("dnc.run span");
+        let depth1: f64 = reg
+            .rank_rows(s.rank)
+            .filter(|r| r.depth == 1)
+            .map(|r| r.seconds())
+            .sum();
+        assert!(
+            (depth1 - root_row.seconds()).abs() < 1e-9,
+            "rank {}: phase spans {depth1} != dnc.run {}",
+            s.rank,
+            root_row.seconds()
+        );
+    }
+}
