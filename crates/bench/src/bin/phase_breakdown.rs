@@ -1,4 +1,4 @@
-//! **Extension — per-phase time breakdown and I/O balance.**
+//! **Extension — per-phase time breakdown, I/O balance and gauge peaks.**
 //!
 //! The paper argues that pCLOUDS "maintains very good load balance for the
 //! performed I/O while keeping the associated overhead low" and that the
@@ -10,9 +10,31 @@
 //! Phase times come from the span rollups of a traced run (see
 //! [`pdc_cgm::MetricsRegistry`]), not from hand-maintained timers: each
 //! column is the per-rank inclusive time of the matching `pclouds.*` span.
+//! A second table reports the resource-gauge high-water marks *inside*
+//! each phase's span windows ([`pdc_cgm::GaugeSeries::peak_in`]): buffer
+//! pool occupancy, device/mailbox queue depths and resident small-task
+//! bytes, sampled on the virtual clock of a gauge-enabled, engine-backed
+//! run (see [`pdc_cgm::gauge`]).
 
-use pdc_bench::harness::{csv_flag, run_pclouds_traced, Scale, TableWriter};
+use pdc_bench::harness::{csv_flag, run_pclouds_profiled, Scale, TableWriter};
+use pdc_cgm::{resolve_series, GaugeSeries};
 use pdc_dnc::Strategy;
+use pdc_pario::{EngineConfig, ReplacementPolicy};
+
+const PHASES: [&str; 5] = [
+    "pclouds.stats",
+    "pclouds.derive",
+    "pclouds.partition",
+    "pclouds.small_redistribute",
+    "pclouds.small_solve",
+];
+
+const GAUGES: [&str; 4] = [
+    "pario.pool.pages",
+    "cgm.device.queue",
+    "cgm.mailbox.depth",
+    "dnc.resident_bytes",
+];
 
 fn main() {
     let scale = Scale::from_env();
@@ -20,7 +42,8 @@ fn main() {
     let n = scale.records(4_800_000);
     let p = 8;
     eprintln!("phase_breakdown: n={n} p={p}");
-    let out = run_pclouds_traced(n, p, scale, Strategy::Mixed);
+    let engine = EngineConfig::new(512 * 1024, ReplacementPolicy::Lru, true);
+    let out = run_pclouds_profiled(n, p, scale, Strategy::Mixed, &engine);
     let reg = out.span_metrics();
 
     let mut table = TableWriter::new(
@@ -50,6 +73,58 @@ fn main() {
         ]);
     }
     table.print();
+
+    // Gauge high-water marks inside each phase's span windows, max over all
+    // ranks and span instances. A carried-in value counts (a buffer page
+    // resident when the phase starts is still occupancy).
+    let series: Vec<Vec<GaugeSeries>> = out
+        .run
+        .stats
+        .iter()
+        .map(|s| resolve_series(&s.gauges))
+        .collect();
+    let peak_in_phase = |phase: &str, gauge: &str| -> f64 {
+        let mut peak = 0.0f64;
+        for s in &out.run.stats {
+            let Some(gs) = series[s.rank].iter().find(|g| g.name == gauge) else {
+                continue;
+            };
+            for row in reg.rank_rows(s.rank).filter(|r| r.name == phase) {
+                peak = peak.max(gs.peak_in(row.start, row.end));
+            }
+        }
+        peak
+    };
+    println!("\ngauge peaks per phase (max over ranks)");
+    let mut gauge_table = TableWriter::new(
+        &["phase", "pool_pages", "dev_queue", "mbox_depth", "resident_kb"],
+        csv,
+    );
+    for phase in PHASES {
+        let cells: Vec<f64> = GAUGES.iter().map(|g| peak_in_phase(phase, g)).collect();
+        gauge_table.row(vec![
+            phase.to_string(),
+            format!("{:.0}", cells[0]),
+            format!("{:.0}", cells[1]),
+            format!("{:.0}", cells[2]),
+            format!("{:.1}", cells[3] / 1024.0),
+        ]);
+    }
+    gauge_table.print();
+
+    // The engine-backed streaming phases must actually exercise the buffer
+    // pool and the mailboxes — an all-zero column would mean the gauges
+    // came unwired from the phases.
+    let pool_peak = PHASES
+        .iter()
+        .map(|ph| peak_in_phase(ph, "pario.pool.pages"))
+        .fold(0.0f64, f64::max);
+    assert!(pool_peak > 0.0, "buffer pool untouched in every phase");
+    let mbox_peak = PHASES
+        .iter()
+        .map(|ph| peak_in_phase(ph, "cgm.mailbox.depth"))
+        .fold(0.0f64, f64::max);
+    assert!(mbox_peak > 0.0, "mailboxes untouched in every phase");
 
     // Balance summaries.
     let io: Vec<f64> = out

@@ -1,0 +1,76 @@
+//! **Extension — resource-gauge profiling run.**
+//!
+//! Runs one pCLOUDS experiment with the full observability stack on (event
+//! trace, spans, gauges — see [`pdc_cgm::gauge`]) and the asynchronous disk
+//! engine enabled, then writes the profiling artifacts under `results/`:
+//!
+//! * `results/profile_<name>.json` — Chrome trace-event JSON including the
+//!   gauge counter tracks (`"ph":"C"`); open it in Perfetto
+//!   (<https://ui.perfetto.dev>) to see queue depths, buffer-pool occupancy
+//!   and resident task bytes as time series under each rank.
+//! * `results/profile_<name>.csv` — the gauge step functions as a flat
+//!   `rank,gauge,time_s,value` table ([`pdc_cgm::gauges_csv`]).
+//! * `results/profile_<name>.txt` — the rendered [`pdc_cgm::BuildReport`]
+//!   (per-rank utilization, per-level attribution with imbalance factors,
+//!   hotspots, gauge peaks).
+//!
+//! and prints the level-wise build table plus the report summary to the
+//! terminal.
+//!
+//! Usage: `profile_run [name] [--p N]` (default name `profile`, p = 4);
+//! workload scale via `PCLOUDS_SCALE` as usual.
+
+use pdc_bench::harness::{run_pclouds_profiled, Scale};
+use pdc_cgm::export::validate_json;
+use pdc_cgm::{chrome_trace_json, gauges_csv, BuildReport};
+use pdc_dnc::Strategy;
+use pdc_pario::{EngineConfig, ReplacementPolicy};
+
+fn main() {
+    let mut name = String::from("profile");
+    let mut p = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--p" {
+            p = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--p needs a processor count");
+        } else if !a.starts_with("--") {
+            name = a;
+        }
+    }
+
+    let scale = Scale::from_env();
+    let n = scale.records(4_800_000);
+    eprintln!("profile_run: n={n} p={p} name={name}");
+    let engine = EngineConfig::new(512 * 1024, ReplacementPolicy::Lru, true);
+    let out = run_pclouds_profiled(n, p, scale, Strategy::Mixed, &engine);
+    let stats = &out.run.stats;
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let trace = chrome_trace_json(stats);
+    validate_json(&trace).expect("chrome trace JSON must parse");
+    assert!(
+        trace.contains("\"ph\":\"C\""),
+        "profiled trace must carry gauge counter tracks"
+    );
+    let trace_path = format!("results/profile_{name}.json");
+    std::fs::write(&trace_path, &trace).expect("write trace JSON");
+
+    let csv = gauges_csv(stats);
+    let csv_path = format!("results/profile_{name}.csv");
+    std::fs::write(&csv_path, &csv).expect("write gauges CSV");
+
+    let report = BuildReport::from_stats(stats);
+    let rendered = report.render();
+    let txt_path = format!("results/profile_{name}.txt");
+    std::fs::write(&txt_path, &rendered).expect("write build report");
+
+    println!("{rendered}");
+    println!(
+        "wrote {trace_path} ({} bytes), {csv_path} ({} samples), {txt_path}",
+        trace.len(),
+        csv.lines().count().saturating_sub(1)
+    );
+}

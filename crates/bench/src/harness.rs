@@ -81,6 +81,25 @@ fn run_pclouds_on(
     run_pclouds_on_engine(n, p, scale, strategy, machine, &engine)
 }
 
+/// [`run_pclouds_engine`] with the full observability stack on — event
+/// trace, spans, and resource gauges ([`pdc_cgm::gauge`]) — for the
+/// profiling harnesses ([`pdc_cgm::BuildReport`], `profile_run`). All three
+/// are pure observation, so the virtual times are bit-identical to
+/// [`run_pclouds_engine`] with the same engine.
+pub fn run_pclouds_profiled(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    engine: &pdc_pario::EngineConfig,
+) -> TrainOutput {
+    let mut machine = machine_config(scale);
+    machine.spans = true;
+    machine.trace = true;
+    machine.gauges = true;
+    run_pclouds_on_engine(n, p, scale, strategy, machine, engine)
+}
+
 /// [`run_pclouds`] on a disk farm with the asynchronous engine configured
 /// by `engine` (buffer pool, replacement policy, write-back, prefetch —
 /// see [`pdc_pario::EngineConfig`]). With [`pdc_pario::EngineConfig::disabled`]
@@ -133,13 +152,40 @@ pub fn run_pclouds_faulty(
     recover: bool,
     switch_threshold: Option<usize>,
 ) -> TrainOutput {
+    run_pclouds_faulty_engine(
+        n,
+        p,
+        scale,
+        strategy,
+        faults,
+        recover,
+        switch_threshold,
+        &pdc_pario::EngineConfig::disabled(),
+    )
+}
+
+/// [`run_pclouds_faulty`] on a disk farm with the asynchronous engine
+/// configured by `engine` — faults and the engine's overlap/write-back
+/// accounting composed in one run. With [`pdc_pario::EngineConfig::disabled`]
+/// this is exactly [`run_pclouds_faulty`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pclouds_faulty_engine(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    faults: FaultPlan,
+    recover: bool,
+    switch_threshold: Option<usize>,
+    engine: &pdc_pario::EngineConfig,
+) -> TrainOutput {
     let mut config = experiment_config(n, scale);
     config.recover_small_tasks = recover;
     if let Some(t) = switch_threshold {
         config.switch_threshold_intervals = t;
     }
     let stream = RecordStream::new(GeneratorConfig::default()).take(n as usize);
-    let farm = DiskFarm::in_memory(p);
+    let farm = DiskFarm::with_engine(p, pdc_pario::BackendKind::InMemory, engine);
     let root = load_dataset_stream(
         &farm,
         stream,

@@ -22,6 +22,10 @@ pub struct MachineConfig {
     /// Record hierarchical spans (see [`crate::span`]). Pure observation:
     /// enabling spans never changes a run's virtual times.
     pub spans: bool,
+    /// Record time-series gauges (see [`crate::gauge`]). Pure observation,
+    /// like spans: enabling gauges never changes a run's virtual times or
+    /// counters.
+    pub gauges: bool,
     /// Deterministic fault-injection plan (see [`crate::fault`]); the
     /// default plan is inert and changes nothing.
     pub faults: FaultPlan,
@@ -34,6 +38,7 @@ impl Default for MachineConfig {
             recv_timeout: Duration::from_secs(120),
             trace: false,
             spans: false,
+            gauges: false,
             faults: FaultPlan::default(),
         }
     }
@@ -121,6 +126,7 @@ impl Cluster {
             recv_timeout: self.config.recv_timeout,
             trace: self.config.trace,
             spans: self.config.spans,
+            gauges: self.config.gauges,
             faults: self.config.faults.clone(),
             faults_inert: self.config.faults.is_inert(),
         });

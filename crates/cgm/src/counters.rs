@@ -153,6 +153,10 @@ pub struct ProcStats {
     /// Recorded spans in open order (empty unless
     /// [`crate::MachineConfig::spans`] is set).
     pub spans: Vec<crate::span::SpanRecord>,
+    /// Recorded gauge points in recording order (empty unless
+    /// [`crate::MachineConfig::gauges`] is set). Resolve into step series
+    /// with [`crate::gauge::resolve_series`].
+    pub gauges: Vec<crate::gauge::GaugePoint>,
 }
 
 impl ProcStats {
@@ -294,6 +298,7 @@ mod tests {
             },
             trace: Vec::new(),
             spans: Vec::new(),
+            gauges: Vec::new(),
         };
         assert_eq!(stats.idle_time(), 0.0);
     }
@@ -312,6 +317,7 @@ mod tests {
             },
             trace: Vec::new(),
             spans: Vec::new(),
+            gauges: Vec::new(),
         };
         assert!((stats.idle_time() - 1.0).abs() < 1e-12);
         assert!((stats.fault_time() - 0.5).abs() < 1e-12);
@@ -332,6 +338,7 @@ mod tests {
             },
             trace: Vec::new(),
             spans: Vec::new(),
+            gauges: Vec::new(),
         };
         assert!((stats.idle_time() - 1.0).abs() < 1e-12);
     }

@@ -9,14 +9,18 @@
 //!
 //! # Chrome trace schema
 //!
-//! One Chrome *process* per rank (`pid` = rank). The compute timeline is
+//! One Chrome *process* per rank (`pid` = rank), labeled `rank N` via
+//! `process_name`/`thread_name` metadata events. The compute timeline is
 //! `tid` 0: every span becomes a `B`/`E` duration-event pair with its
 //! attributes in `args`, and every injected fault becomes an instant event
 //! (`ph: "i"`). The rank's asynchronous I/O device timeline (see
 //! [`crate::Proc::io_device_submit`]) is `tid` 1: each request becomes a
 //! complete event (`ph: "X"`) spanning its device service window, with an
-//! instant marker when in-flight transient faults were retried. Timestamps
-//! are the virtual clock in microseconds.
+//! instant marker when in-flight transient faults were retried. Gauges
+//! recorded with [`crate::MachineConfig::gauges`] become Perfetto counter
+//! tracks: one `ph: "C"` event per resolved step (see
+//! [`crate::gauge::resolve_series`]) on the rank's pid. Timestamps are the
+//! virtual clock in microseconds.
 //!
 //! # Critical path
 //!
@@ -83,7 +87,8 @@ fn attrs_json(attrs: &[(&'static str, i64)]) -> String {
 
 /// Render a run as Chrome trace-event JSON: open the result in Perfetto
 /// (<https://ui.perfetto.dev>) or `chrome://tracing`. One process per
-/// rank; spans become `B`/`E` pairs, faults become instant events.
+/// rank; spans become `B`/`E` pairs, faults become instant events, gauges
+/// become counter tracks (`ph: "C"`).
 pub fn chrome_trace_json(stats: &[ProcStats]) -> String {
     let mut events: Vec<String> = Vec::new();
     for s in stats {
@@ -91,6 +96,11 @@ pub fn chrome_trace_json(stats: &[ProcStats]) -> String {
             "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
              \"args\":{{\"name\":\"rank {}\"}}}}",
             s.rank, s.rank
+        ));
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"compute\"}}}}",
+            s.rank
         ));
         // Spans are recorded in open order and close LIFO, and the virtual
         // clock is monotonic — so a stack replay emits correctly nested
@@ -172,6 +182,21 @@ pub fn chrome_trace_json(stats: &[ProcStats]) -> String {
                 _ => {}
             }
         }
+        // Gauges as Perfetto counter tracks: one "C" event per resolved
+        // step, on the rank's pid (Perfetto draws one counter track per
+        // (pid, name)).
+        for series in crate::gauge::resolve_series(&s.gauges) {
+            for &(t, v) in &series.points {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\
+                     \"args\":{{\"value\":{}}}}}",
+                    esc(series.name),
+                    num(t * 1e6),
+                    s.rank,
+                    num(v)
+                ));
+            }
+        }
     }
     format!(
         "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
@@ -230,6 +255,69 @@ pub fn metrics_jsonl(stats: &[ProcStats]) -> String {
             r.delta.cache_hits,
             r.delta.cache_misses,
         ));
+    }
+    out
+}
+
+/// Render per-span metrics as CSV with a header row: the same rows as
+/// [`metrics_jsonl`] minus attrs, for spreadsheet-friendly loading. The
+/// row order is the deterministic [`crate::MetricsRegistry`] order, so two
+/// identical runs export byte-identical CSV.
+pub fn metrics_csv(stats: &[ProcStats]) -> String {
+    let reg = crate::metrics::MetricsRegistry::from_stats(stats);
+    let mut out = String::from(
+        "rank,index,parent,depth,name,start,end,seconds,self_seconds,\
+         compute_time,comm_time,io_time,fault_time,io_stall_time,\
+         ops,bytes_sent,bytes_received,disk_read_bytes,disk_write_bytes\n",
+    );
+    for r in reg.rows() {
+        let parent = match r.parent {
+            Some(p) => p.to_string(),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.rank,
+            r.index,
+            parent,
+            r.depth,
+            r.name,
+            num(r.start),
+            num(r.end),
+            num(r.seconds()),
+            num(r.self_seconds),
+            num(r.delta.compute_time),
+            num(r.delta.comm_time),
+            num(r.delta.io_time),
+            num(r.delta.fault_time),
+            num(r.delta.io_stall_time),
+            r.delta.total_ops(),
+            r.delta.bytes_sent,
+            r.delta.bytes_received,
+            r.delta.disk_read_bytes,
+            r.delta.disk_write_bytes,
+        ));
+    }
+    out
+}
+
+/// Render every rank's resolved gauge series as CSV
+/// (`rank,gauge,time_s,value`), ranks in order, gauges sorted by name,
+/// steps in time order — a deterministic export.
+pub fn gauges_csv(stats: &[ProcStats]) -> String {
+    let mut out = String::from("rank,gauge,time_s,value\n");
+    for s in stats {
+        for series in crate::gauge::resolve_series(&s.gauges) {
+            for &(t, v) in &series.points {
+                out.push_str(&format!(
+                    "{},{},{},{}\n",
+                    s.rank,
+                    series.name,
+                    num(t),
+                    num(v)
+                ));
+            }
+        }
     }
     out
 }
@@ -922,6 +1010,70 @@ mod tests {
         let cp = critical_path(&stats);
         assert!(cp.segments.is_empty());
         assert!(cp.makespan > 0.0);
+    }
+
+    fn gauged_stats() -> Vec<ProcStats> {
+        let mut cfg = MachineConfig::default();
+        cfg.trace = true;
+        cfg.spans = true;
+        cfg.gauges = true;
+        Cluster::with_config(2, cfg)
+            .run(|proc| {
+                proc.in_span("test.phase", &[], |p| {
+                    p.gauge("test.depth", 2.0);
+                    p.charge(OpKind::Misc, 100_000);
+                    p.gauge("test.depth", 0.0);
+                });
+            })
+            .stats
+    }
+
+    #[test]
+    fn chrome_trace_labels_every_rank_with_metadata() {
+        let stats = traced_stats();
+        let json = chrome_trace_json(&stats);
+        validate_json(&json).expect("chrome trace must be valid JSON");
+        for rank in 0..stats.len() {
+            assert!(json.contains(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\
+                 \"tid\":0,\"args\":{{\"name\":\"rank {rank}\"}}}}"
+            )));
+            assert!(json.contains(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{rank},\
+                 \"tid\":0,\"args\":{{\"name\":\"compute\"}}}}"
+            )));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_emits_counter_events_for_gauges() {
+        let stats = gauged_stats();
+        let json = chrome_trace_json(&stats);
+        validate_json(&json).expect("chrome trace must be valid JSON");
+        // Each rank samples 2.0 then 0.0: counter events on both pids.
+        for rank in 0..stats.len() {
+            assert!(json.contains(&format!(
+                "{{\"name\":\"test.depth\",\"ph\":\"C\",\"ts\":0,\
+                 \"pid\":{rank},\"args\":{{\"value\":2}}}}"
+            )));
+        }
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 4);
+    }
+
+    #[test]
+    fn gauges_and_metrics_csv_are_deterministic_tables() {
+        let stats = gauged_stats();
+        let gcsv = gauges_csv(&stats);
+        let mut lines = gcsv.lines();
+        assert_eq!(lines.next(), Some("rank,gauge,time_s,value"));
+        // 2 ranks × 2 steps.
+        assert_eq!(gcsv.lines().count(), 5);
+        assert!(gcsv.contains("0,test.depth,0,2"));
+        let mcsv = metrics_csv(&stats);
+        assert!(mcsv.starts_with("rank,index,parent,depth,name,"));
+        assert_eq!(mcsv.lines().count(), 3, "header + one span per rank");
+        assert_eq!(gauges_csv(&gauged_stats()), gcsv, "byte-identical rerun");
+        assert_eq!(metrics_csv(&gauged_stats()), mcsv, "byte-identical rerun");
     }
 
     #[test]

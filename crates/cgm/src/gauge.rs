@@ -1,0 +1,224 @@
+//! Deterministic time-series gauges on the virtual clock.
+//!
+//! A gauge is a named step function of one rank's virtual time: buffer-pool
+//! occupancy, mailbox queue depth, resident task bytes — resource levels
+//! that counters (totals) and spans (intervals) cannot express. Recording a
+//! gauge point is **pure observation**: it never advances the clock and
+//! never mutates [`crate::Counters`], so enabling gauges
+//! ([`crate::MachineConfig::gauges`]) leaves every rank's virtual finish
+//! time bit-identical to a run with observability off (regression-tested,
+//! like spans).
+//!
+//! Two kinds of points cover every instrumentation site:
+//!
+//! * an **absolute sample** ([`crate::Proc::gauge`]) records the gauge's
+//!   value at the current clock — right for state the instrumented code can
+//!   read directly (pool occupancy, queue length);
+//! * a **delta event** ([`crate::Proc::gauge_delta`]) adds a signed amount
+//!   at an explicit virtual time, possibly in the past or future of the
+//!   recording moment — right for interval occupancy that is only known at
+//!   one endpoint. A receive, for example, learns on completion that the
+//!   message occupied the mailbox over `[arrive_time, now]`; it records
+//!   `+1` at the arrival and `-1` at the completion. Both endpoints are
+//!   virtual times, so the series is deterministic even though the
+//!   *physical* mailbox fills at the whim of the OS scheduler.
+//!
+//! Recorded points are resolved into per-name step series by
+//! [`resolve_series`]: stable-sort by time (insertion order breaks ties,
+//! which is itself deterministic), then cumulative-sum deltas and apply
+//! absolute samples in order, coalescing same-time points to their final
+//! value.
+
+/// One recorded gauge point (see the module docs for the two kinds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugePoint {
+    /// Gauge name; dotted-hierarchy names by convention
+    /// (`"pario.pool.pages"`, `"cgm.mailbox.depth"`).
+    pub name: &'static str,
+    /// Virtual time of the point, seconds.
+    pub time: f64,
+    /// Sampled value (absolute) or signed delta.
+    pub value: f64,
+    /// `true` = absolute sample, `false` = delta event.
+    pub absolute: bool,
+}
+
+/// A resolved gauge: one step function of virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSeries {
+    /// Gauge name.
+    pub name: &'static str,
+    /// `(time, value)` steps, strictly increasing in time: the gauge holds
+    /// `value` from `time` until the next step.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl GaugeSeries {
+    /// Largest value the gauge ever held.
+    pub fn peak(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Value of the gauge at time `t` (0 before the first step).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => 0.0,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// Largest value the gauge held anywhere in `[start, end]` (including
+    /// the value carried in from before `start`).
+    pub fn peak_in(&self, start: f64, end: f64) -> f64 {
+        let mut peak = self.value_at(start);
+        for &(t, v) in &self.points {
+            if t > start && t <= end {
+                peak = peak.max(v);
+            }
+        }
+        peak
+    }
+
+    /// Time-weighted mean of the gauge over `[0, end]` (the gauge is 0
+    /// before its first step). Returns 0 when `end` is not positive.
+    pub fn time_weighted_mean(&self, end: f64) -> f64 {
+        if end <= 0.0 {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        let mut prev_t = 0.0;
+        let mut prev_v = 0.0;
+        for &(t, v) in &self.points {
+            if t >= end {
+                break;
+            }
+            if t > prev_t {
+                area += prev_v * (t - prev_t);
+            }
+            prev_t = t.max(prev_t);
+            prev_v = v;
+        }
+        area += prev_v * (end - prev_t).max(0.0);
+        area / end
+    }
+}
+
+/// Resolve one rank's recorded points into per-name step series, sorted by
+/// name. Within a name, points are stable-sorted by time (ties keep the
+/// deterministic recording order), deltas are cumulatively summed, absolute
+/// samples override the running value, and same-time points coalesce to
+/// their final value.
+pub fn resolve_series(points: &[GaugePoint]) -> Vec<GaugeSeries> {
+    let mut names: Vec<&'static str> = points.iter().map(|p| p.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| {
+            let mut pts: Vec<&GaugePoint> =
+                points.iter().filter(|p| p.name == name).collect();
+            pts.sort_by(|a, b| {
+                a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut steps: Vec<(f64, f64)> = Vec::new();
+            let mut value = 0.0;
+            for p in pts {
+                value = if p.absolute { p.value } else { value + p.value };
+                match steps.last_mut() {
+                    Some(last) if last.0 == p.time => last.1 = value,
+                    _ => steps.push((p.time, value)),
+                }
+            }
+            // Drop steps that do not change the value (smaller exports,
+            // same step function).
+            steps.dedup_by(|next, prev| prev.1 == next.1);
+            GaugeSeries { name, points: steps }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(name: &'static str, time: f64, value: f64, absolute: bool) -> GaugePoint {
+        GaugePoint { name, time, value, absolute }
+    }
+
+    #[test]
+    fn absolute_samples_form_a_step_series() {
+        let points = vec![
+            pt("g", 0.0, 1.0, true),
+            pt("g", 2.0, 3.0, true),
+            pt("g", 5.0, 2.0, true),
+        ];
+        let series = resolve_series(&points);
+        assert_eq!(series.len(), 1);
+        let g = &series[0];
+        assert_eq!(g.points, vec![(0.0, 1.0), (2.0, 3.0), (5.0, 2.0)]);
+        assert_eq!(g.peak(), 3.0);
+        assert_eq!(g.value_at(1.0), 1.0);
+        assert_eq!(g.value_at(2.0), 3.0);
+        assert_eq!(g.value_at(10.0), 2.0);
+    }
+
+    #[test]
+    fn deltas_recorded_out_of_order_resolve_by_time() {
+        // A receive records the -1 endpoint first (it is at "now") and the
+        // +1 endpoint second (at the earlier arrival time) — or any order.
+        let points = vec![
+            pt("q", 4.0, -1.0, false),
+            pt("q", 1.0, 1.0, false),
+            pt("q", 2.0, 1.0, false),
+            pt("q", 6.0, -1.0, false),
+        ];
+        let g = &resolve_series(&points)[0];
+        assert_eq!(g.points, vec![(1.0, 1.0), (2.0, 2.0), (4.0, 1.0), (6.0, 0.0)]);
+        assert_eq!(g.peak(), 2.0);
+    }
+
+    #[test]
+    fn same_time_points_coalesce_to_the_final_value() {
+        let points = vec![
+            pt("g", 1.0, 1.0, false),
+            pt("g", 1.0, 1.0, false),
+            pt("g", 3.0, -2.0, false),
+        ];
+        let g = &resolve_series(&points)[0];
+        assert_eq!(g.points, vec![(1.0, 2.0), (3.0, 0.0)]);
+    }
+
+    #[test]
+    fn unchanged_steps_are_dropped() {
+        let points = vec![
+            pt("g", 1.0, 5.0, true),
+            pt("g", 2.0, 5.0, true),
+            pt("g", 3.0, 6.0, true),
+        ];
+        let g = &resolve_series(&points)[0];
+        assert_eq!(g.points, vec![(1.0, 5.0), (3.0, 6.0)]);
+    }
+
+    #[test]
+    fn multiple_names_sorted() {
+        let points = vec![pt("b", 0.0, 1.0, true), pt("a", 0.0, 2.0, true)];
+        let series = resolve_series(&points);
+        assert_eq!(series[0].name, "a");
+        assert_eq!(series[1].name, "b");
+    }
+
+    #[test]
+    fn time_weighted_mean_and_windows() {
+        let points = vec![pt("g", 2.0, 4.0, true), pt("g", 6.0, 0.0, true)];
+        let g = &resolve_series(&points)[0];
+        // 0 over [0,2), 4 over [2,6), 0 over [6,8) → area 16 over 8s.
+        assert!((g.time_weighted_mean(8.0) - 2.0).abs() < 1e-12);
+        assert_eq!(g.peak_in(0.0, 1.0), 0.0);
+        assert_eq!(g.peak_in(3.0, 4.0), 4.0, "carried-in value counts");
+        assert_eq!(g.peak_in(7.0, 9.0), 0.0);
+        assert_eq!(g.time_weighted_mean(0.0), 0.0);
+    }
+}

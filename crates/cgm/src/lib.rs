@@ -44,10 +44,12 @@ pub mod cost;
 pub mod counters;
 pub mod export;
 pub mod fault;
+pub mod gauge;
 pub mod group;
 pub mod mailbox;
 pub mod metrics;
 pub mod proc;
+pub mod report;
 pub mod span;
 pub mod topology;
 pub mod trace;
@@ -56,10 +58,14 @@ pub mod wire;
 pub use cluster::{Cluster, MachineConfig, RunOutput};
 pub use cost::{CacheParams, ComputeRates, CostModel, DiskParams, NetworkParams, OpKind};
 pub use counters::{Counters, ProcStats};
-pub use export::{chrome_trace_json, critical_path, metrics_jsonl, CriticalPathReport};
+pub use export::{
+    chrome_trace_json, critical_path, gauges_csv, metrics_csv, metrics_jsonl, CriticalPathReport,
+};
 pub use fault::{DegradedWindow, DiskFaults, FaultError, FaultPlan, LinkFaults};
+pub use gauge::{resolve_series, GaugePoint, GaugeSeries};
 pub use group::Group;
 pub use metrics::{MetricsRegistry, NameSummary, SpanRow};
 pub use proc::{IoTicket, Proc};
+pub use report::{BuildReport, GaugeStat, Hotspot, LevelReport, NodeReport, RankUtilization};
 pub use span::{SpanAttr, SpanRecord, SpanToken};
 pub use wire::{DecodeError, Wire};

@@ -94,13 +94,22 @@ impl MetricsRegistry {
                 });
             }
         }
+        // Explicitly deterministic row order: by rank, then span open time
+        // (stable, so equal-start spans keep their open order via index).
+        rows.sort_by(|a, b| {
+            a.rank
+                .cmp(&b.rank)
+                .then(a.start.partial_cmp(&b.start).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.index.cmp(&b.index))
+        });
         MetricsRegistry {
             rows,
             nranks: stats.len(),
         }
     }
 
-    /// All rows, grouped by rank and in open order within a rank.
+    /// All rows, sorted by rank, then span open time, then open order —
+    /// a deterministic order so exports are byte-identical across runs.
     pub fn rows(&self) -> &[SpanRow] {
         &self.rows
     }

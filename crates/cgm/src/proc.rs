@@ -21,6 +21,7 @@ use std::time::Duration;
 use crate::cost::{CostModel, OpKind};
 use crate::counters::Counters;
 use crate::fault::{FaultError, FaultPlan, STREAM_DISK_READ, STREAM_LINK_DELAY, STREAM_LINK_DROP};
+use crate::gauge::GaugePoint;
 use crate::mailbox::{Mailbox, Message};
 use crate::span::{SpanAttr, SpanRecord, SpanToken, SPAN_DISABLED};
 use crate::trace::{EventKind, TraceEvent};
@@ -57,6 +58,8 @@ pub struct SharedMachine {
     pub trace: bool,
     /// Whether processors record spans (see [`crate::span`]).
     pub spans: bool,
+    /// Whether processors record gauges (see [`crate::gauge`]).
+    pub gauges: bool,
     /// Deterministic fault-injection plan (see [`crate::fault`]).
     pub faults: FaultPlan,
     /// Precomputed [`FaultPlan::is_inert`]: when true, every fault code
@@ -78,6 +81,8 @@ pub struct Proc {
     /// Recorded spans (open order) and the stack of currently open ones.
     spans: Vec<SpanRecord>,
     span_stack: Vec<u32>,
+    /// Recorded gauge points (see [`crate::gauge`]), in recording order.
+    gauges: Vec<GaugePoint>,
     /// This rank's straggler multiplier (1.0 when healthy / faults inert).
     skew: f64,
     /// Per-destination message sequence numbers (fault-decision streams).
@@ -107,6 +112,7 @@ impl Proc {
             trace: Vec::new(),
             spans: Vec::new(),
             span_stack: Vec::new(),
+            gauges: Vec::new(),
             skew,
             link_seq: vec![0; nprocs],
             disk_seq: 0,
@@ -279,6 +285,61 @@ impl Proc {
         out
     }
 
+    // ------------------------------------------------------------------
+    // Gauges
+    // ------------------------------------------------------------------
+
+    /// Whether this run records gauges (see
+    /// [`crate::MachineConfig::gauges`]). Instrumentation can use this to
+    /// skip computing expensive sample values.
+    pub fn gauges_enabled(&self) -> bool {
+        self.shared.gauges
+    }
+
+    /// Record an absolute sample of gauge `name` at the current virtual
+    /// time. Pure observation: never advances the clock or touches
+    /// counters; a no-op when gauges are disabled.
+    ///
+    /// ```
+    /// use pdc_cgm::{Cluster, MachineConfig, OpKind};
+    ///
+    /// let mut cfg = MachineConfig::default();
+    /// cfg.gauges = true;
+    /// let out = Cluster::with_config(1, cfg).run(|proc| {
+    ///     proc.gauge("app.queue", 3.0);
+    ///     proc.charge(OpKind::Misc, 10);
+    ///     proc.gauge("app.queue", 1.0);
+    /// });
+    /// let series = pdc_cgm::gauge::resolve_series(&out.stats[0].gauges);
+    /// assert_eq!(series[0].name, "app.queue");
+    /// assert_eq!(series[0].peak(), 3.0);
+    /// ```
+    pub fn gauge(&mut self, name: &'static str, value: f64) {
+        if self.shared.gauges {
+            self.gauges.push(GaugePoint {
+                name,
+                time: self.clock,
+                value,
+                absolute: true,
+            });
+        }
+    }
+
+    /// Record a delta event on gauge `name` at an explicit virtual `time`
+    /// (which may differ from the current clock — see the [`crate::gauge`]
+    /// module docs for why interval occupancy is recorded this way). Pure
+    /// observation; a no-op when gauges are disabled.
+    pub fn gauge_delta(&mut self, name: &'static str, time: f64, delta: f64) {
+        if self.shared.gauges {
+            self.gauges.push(GaugePoint {
+                name,
+                time,
+                value: delta,
+                absolute: false,
+            });
+        }
+    }
+
     /// Charge `count` operations of `kind` over a working set of
     /// `working_set_bytes` (cache-adjusted: charges less when it fits).
     pub fn charge_ws(&mut self, kind: OpKind, count: u64, working_set_bytes: usize) {
@@ -444,6 +505,12 @@ impl Proc {
         }
         let start = self.device_free.max(self.clock);
         let completion = start + service;
+        if self.shared.gauges {
+            // The request occupies the device queue from submission until
+            // its completion on the device timeline.
+            self.gauge_delta("cgm.device.queue", self.clock, 1.0);
+            self.gauge_delta("cgm.device.queue", completion, -1.0);
+        }
         self.device_free = completion;
         self.counters.io_device_time += service;
         if read {
@@ -655,6 +722,20 @@ impl Proc {
             self.trace_event(EventKind::Fault { kind: "link-drop", seconds: waited });
             return Err(FaultError::Poisoned { src });
         }
+        if self.shared.gauges {
+            // The message occupied this rank's mailbox over the virtual
+            // interval [arrival, now]. When the receiver waited for it the
+            // interval is empty (the message never sat in the queue) and
+            // the two endpoints coalesce away during resolution. Both
+            // endpoints are virtual times, so the series is deterministic
+            // even though the physical queue fills at the whim of the OS
+            // scheduler.
+            let bytes = msg.payload.len() as f64;
+            self.gauge_delta("cgm.mailbox.depth", msg.arrive_time, 1.0);
+            self.gauge_delta("cgm.mailbox.depth", self.clock, -1.0);
+            self.gauge_delta("cgm.mailbox.bytes", msg.arrive_time, bytes);
+            self.gauge_delta("cgm.mailbox.bytes", self.clock, -bytes);
+        }
         self.counters.messages_received += 1;
         self.counters.bytes_received += msg.payload.len() as u64;
         self.trace_event(EventKind::Recv {
@@ -732,6 +813,7 @@ impl Proc {
             counters: self.counters,
             trace: self.trace,
             spans: self.spans,
+            gauges: self.gauges,
         }
     }
 }

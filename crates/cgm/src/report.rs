@@ -1,0 +1,454 @@
+//! Build reports: utilization, per-node and per-level attribution,
+//! imbalance diagnostics, hotspots and gauge rollups.
+//!
+//! [`BuildReport`] is pure post-processing over a run's
+//! [`crate::ProcStats`]. It reconstructs the paper's level-wise story from
+//! span attributes: spans carrying a `("node", id)` or `("task", id)`
+//! attribute are attributed to that divide-and-conquer tree node (heap
+//! numbering, root = 1), nodes roll up into per-depth levels, and each
+//! level gets a load-imbalance factor (max/mean busy seconds across
+//! ranks). Nested spans that carry the same node id as their parent are
+//! not double counted.
+
+use crate::counters::ProcStats;
+use crate::gauge::resolve_series;
+use crate::metrics::MetricsRegistry;
+
+/// How busy one rank was over the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankUtilization {
+    /// Rank.
+    pub rank: usize,
+    /// Seconds attributed to work (finish time minus idle time).
+    pub busy_seconds: f64,
+    /// Virtual finish time, seconds.
+    pub finish_time: f64,
+    /// `busy_seconds / finish_time` (1.0 for an empty run).
+    pub utilization: f64,
+}
+
+/// Attribution of one divide-and-conquer tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Heap-numbered node id (root = 1).
+    pub id: u64,
+    /// Depth in the tree (root = 0), derived from the id.
+    pub depth: usize,
+    /// Seconds attributed to the node, summed over ranks.
+    pub seconds: f64,
+    /// Bytes read from disk while processing the node.
+    pub read_bytes: u64,
+    /// Bytes written to disk while processing the node.
+    pub write_bytes: u64,
+    /// Records processed (largest `("records", n)` attribute seen on the
+    /// node's spans; 0 when the instrumentation did not report one).
+    pub records: u64,
+    /// Seconds by component (span name), summed over ranks.
+    pub components: Vec<(&'static str, f64)>,
+}
+
+/// One tree level: all nodes of one depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelReport {
+    /// Depth in the tree (root = 0).
+    pub depth: usize,
+    /// Number of attributed nodes at this depth.
+    pub nodes: usize,
+    /// Seconds attributed to the level, summed over ranks.
+    pub seconds: f64,
+    /// Disk bytes (read + write) attributed to the level.
+    pub bytes: u64,
+    /// Records processed over the level.
+    pub records: u64,
+    /// Busy seconds attributed to this level per rank (length = nranks).
+    pub busy_by_rank: Vec<f64>,
+    /// Load-imbalance factor: max over mean of `busy_by_rank` (1.0 when
+    /// the level did no attributed work).
+    pub imbalance: f64,
+}
+
+/// One entry of the hotspot list: a span name ranked by exclusive time
+/// weighted by its cross-rank imbalance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Span name.
+    pub name: &'static str,
+    /// Total self (exclusive) seconds across ranks.
+    pub self_seconds: f64,
+    /// Max over mean per-rank self seconds (1.0 when perfectly balanced).
+    pub imbalance: f64,
+    /// Ranking score: `self_seconds * imbalance`.
+    pub score: f64,
+}
+
+/// Peak and time-weighted mean of one gauge on one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeStat {
+    /// Rank that recorded the gauge.
+    pub rank: usize,
+    /// Gauge name.
+    pub name: &'static str,
+    /// Largest value the gauge held.
+    pub peak: f64,
+    /// Time-weighted mean over the rank's run.
+    pub mean: f64,
+}
+
+/// Full rollup of one run: utilization, per-node and per-level
+/// attribution, hotspots and gauge statistics.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Per-rank utilization, indexed by rank.
+    pub ranks: Vec<RankUtilization>,
+    /// Attributed tree nodes, sorted by id.
+    pub nodes: Vec<NodeReport>,
+    /// Tree levels, sorted by depth.
+    pub levels: Vec<LevelReport>,
+    /// Top spans by exclusive time × imbalance, highest score first.
+    pub hotspots: Vec<Hotspot>,
+    /// Per-rank gauge statistics, sorted by rank then name.
+    pub gauges: Vec<GaugeStat>,
+    /// Parallel runtime of the run (max finish time), seconds.
+    pub makespan: f64,
+}
+
+/// How many hotspots [`BuildReport::from_stats`] keeps.
+const TOP_K_HOTSPOTS: usize = 10;
+
+fn node_attr(attrs: &[(&'static str, i64)]) -> Option<u64> {
+    attrs
+        .iter()
+        .find(|(k, _)| *k == "node" || *k == "task")
+        .map(|&(_, v)| v as u64)
+}
+
+fn depth_of(id: u64) -> usize {
+    debug_assert!(id >= 1, "heap node ids start at 1");
+    (63 - id.leading_zeros()) as usize
+}
+
+impl BuildReport {
+    /// Roll a run's per-rank statistics up into a report. Requires spans
+    /// ([`crate::MachineConfig::spans`]); gauge statistics are empty unless
+    /// gauges were recorded too.
+    pub fn from_stats(stats: &[ProcStats]) -> BuildReport {
+        let reg = MetricsRegistry::from_stats(stats);
+        let nranks = stats.len();
+        let makespan = stats.iter().map(|s| s.finish_time).fold(0.0_f64, f64::max);
+
+        let ranks = stats
+            .iter()
+            .map(|s| {
+                let busy = (s.finish_time - s.idle_time()).max(0.0);
+                RankUtilization {
+                    rank: s.rank,
+                    busy_seconds: busy,
+                    finish_time: s.finish_time,
+                    utilization: if s.finish_time > 0.0 { busy / s.finish_time } else { 1.0 },
+                }
+            })
+            .collect();
+
+        // Per-rank map from span index (open order) to that span's node id,
+        // for the parent-exclusion rule.
+        let mut node_of: Vec<Vec<Option<u64>>> = stats
+            .iter()
+            .map(|s| vec![None; s.spans.len()])
+            .collect();
+        for row in reg.rows() {
+            node_of[row.rank][row.index as usize] = node_attr(&row.attrs);
+        }
+
+        let mut nodes: Vec<NodeReport> = Vec::new();
+        let mut level_busy: Vec<Vec<f64>> = Vec::new(); // [depth][rank]
+        for row in reg.rows() {
+            let Some(id) = node_attr(&row.attrs) else { continue };
+            let depth = depth_of(id);
+            let node = match nodes.iter_mut().find(|n| n.id == id) {
+                Some(n) => n,
+                None => {
+                    nodes.push(NodeReport {
+                        id,
+                        depth,
+                        seconds: 0.0,
+                        read_bytes: 0,
+                        write_bytes: 0,
+                        records: 0,
+                        components: Vec::new(),
+                    });
+                    nodes.last_mut().unwrap()
+                }
+            };
+            if let Some((_, n)) = row.attrs.iter().find(|(k, _)| *k == "records") {
+                node.records = node.records.max(*n as u64);
+            }
+            // A span nested inside another span of the same node is part of
+            // its parent's attribution already (e.g. the attribute scan
+            // inside the statistics pass) — counting it again would double
+            // the node's seconds and bytes.
+            let nested_same_node = row
+                .parent
+                .map(|p| node_of[row.rank][p as usize] == Some(id))
+                .unwrap_or(false);
+            if nested_same_node {
+                continue;
+            }
+            let secs = row.seconds();
+            node.seconds += secs;
+            node.read_bytes += row.delta.disk_read_bytes;
+            node.write_bytes += row.delta.disk_write_bytes;
+            match node.components.iter_mut().find(|(n, _)| *n == row.name) {
+                Some((_, s)) => *s += secs,
+                None => node.components.push((row.name, secs)),
+            }
+            if level_busy.len() <= depth {
+                level_busy.resize(depth + 1, vec![0.0; nranks]);
+            }
+            level_busy[depth][row.rank] += secs;
+        }
+        nodes.sort_by_key(|n| n.id);
+
+        let mut levels: Vec<LevelReport> = Vec::new();
+        for (depth, busy) in level_busy.iter().enumerate() {
+            let at_depth: Vec<&NodeReport> =
+                nodes.iter().filter(|n| n.depth == depth).collect();
+            if at_depth.is_empty() {
+                continue;
+            }
+            let max = busy.iter().copied().fold(0.0_f64, f64::max);
+            let mean = busy.iter().sum::<f64>() / nranks as f64;
+            levels.push(LevelReport {
+                depth,
+                nodes: at_depth.len(),
+                seconds: at_depth.iter().map(|n| n.seconds).sum(),
+                bytes: at_depth.iter().map(|n| n.read_bytes + n.write_bytes).sum(),
+                records: at_depth.iter().map(|n| n.records).sum(),
+                busy_by_rank: busy.clone(),
+                imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+            });
+        }
+
+        // Hotspots: per span name, self seconds per rank; score by total
+        // exclusive time weighted with its cross-rank imbalance.
+        let mut names: Vec<&'static str> = reg.rows().iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        let mut hotspots: Vec<Hotspot> = names
+            .into_iter()
+            .map(|name| {
+                let mut by_rank = vec![0.0_f64; nranks];
+                for r in reg.rows().iter().filter(|r| r.name == name) {
+                    by_rank[r.rank] += r.self_seconds.max(0.0);
+                }
+                let total: f64 = by_rank.iter().sum();
+                let max = by_rank.iter().copied().fold(0.0_f64, f64::max);
+                let mean = total / nranks as f64;
+                let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+                Hotspot { name, self_seconds: total, imbalance, score: total * imbalance }
+            })
+            .collect();
+        hotspots.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.name.cmp(b.name))
+        });
+        hotspots.truncate(TOP_K_HOTSPOTS);
+
+        let mut gauges: Vec<GaugeStat> = Vec::new();
+        for s in stats {
+            for series in resolve_series(&s.gauges) {
+                gauges.push(GaugeStat {
+                    rank: s.rank,
+                    name: series.name,
+                    peak: series.peak(),
+                    mean: series.time_weighted_mean(s.finish_time),
+                });
+            }
+        }
+
+        BuildReport { ranks, nodes, levels, hotspots, gauges, makespan }
+    }
+
+    /// Largest value gauge `name` reached on any rank (0 when never
+    /// recorded).
+    pub fn gauge_peak(&self, name: &str) -> f64 {
+        self.gauges
+            .iter()
+            .filter(|g| g.name == name)
+            .map(|g| g.peak)
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// The level-wise table: one row per tree depth with node count,
+    /// records, attributed seconds, disk megabytes and the load-imbalance
+    /// factor.
+    pub fn level_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>5} {:>7} {:>12} {:>11} {:>9} {:>10}\n",
+            "depth", "nodes", "records", "seconds", "io_mb", "imbalance"
+        ));
+        for l in &self.levels {
+            out.push_str(&format!(
+                "{:>5} {:>7} {:>12} {:>11.4} {:>9.2} {:>10.3}\n",
+                l.depth,
+                l.nodes,
+                l.records,
+                l.seconds,
+                l.bytes as f64 / (1024.0 * 1024.0),
+                l.imbalance,
+            ));
+        }
+        out
+    }
+
+    /// Render the full report as plain text: utilization, level table,
+    /// hotspots and gauge peaks.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("makespan: {:.4} s\n\n", self.makespan));
+        out.push_str("per-rank utilization\n");
+        out.push_str(&format!(
+            "{:>5} {:>11} {:>11} {:>12}\n",
+            "rank", "busy_s", "finish_s", "utilization"
+        ));
+        for r in &self.ranks {
+            out.push_str(&format!(
+                "{:>5} {:>11.4} {:>11.4} {:>12.3}\n",
+                r.rank, r.busy_seconds, r.finish_time, r.utilization
+            ));
+        }
+        if !self.levels.is_empty() {
+            out.push_str("\nper-level attribution (tree depth)\n");
+            out.push_str(&self.level_table());
+        }
+        if !self.hotspots.is_empty() {
+            out.push_str("\nhotspots (self seconds x imbalance)\n");
+            out.push_str(&format!(
+                "{:>24} {:>11} {:>10} {:>11}\n",
+                "span", "self_s", "imbalance", "score"
+            ));
+            for h in &self.hotspots {
+                out.push_str(&format!(
+                    "{:>24} {:>11.4} {:>10.3} {:>11.4}\n",
+                    h.name, h.self_seconds, h.imbalance, h.score
+                ));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauge peaks (max over ranks; mean is time-weighted)\n");
+            let mut names: Vec<&'static str> =
+                self.gauges.iter().map(|g| g.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            out.push_str(&format!(
+                "{:>24} {:>14} {:>14}\n",
+                "gauge", "peak", "mean"
+            ));
+            for name in names {
+                let peak = self.gauge_peak(name);
+                let means: Vec<f64> = self
+                    .gauges
+                    .iter()
+                    .filter(|g| g.name == name)
+                    .map(|g| g.mean)
+                    .collect();
+                let mean = means.iter().sum::<f64>() / means.len() as f64;
+                out.push_str(&format!("{:>24} {:>14.3} {:>14.3}\n", name, peak, mean));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, MachineConfig, OpKind};
+
+    fn instrumented_run() -> Vec<ProcStats> {
+        let mut cfg = MachineConfig::default();
+        cfg.spans = true;
+        cfg.gauges = true;
+        Cluster::with_config(2, cfg)
+            .run(|proc| {
+                // Root node (id 1, depth 0) with a nested same-node span
+                // that must not double count.
+                proc.in_span("work.large", &[("node", 1), ("records", 100)], |p| {
+                    p.gauge("app.level", 2.0);
+                    p.in_span("work.scan", &[("node", 1)], |p| {
+                        p.charge(OpKind::Misc, 2000);
+                    });
+                });
+                // Depth-1 nodes: rank 0 gets node 2, rank 1 gets node 3
+                // with 3x the work (imbalance 2 * 3/4 = 1.5).
+                let (id, amount) = if proc.rank() == 0 { (2, 1000) } else { (3, 3000) };
+                proc.in_span("work.small", &[("task", id), ("records", 50)], |p| {
+                    p.charge(OpKind::Misc, amount);
+                });
+                proc.gauge("app.level", 0.0);
+            })
+            .stats
+    }
+
+    #[test]
+    fn nodes_and_levels_attribute_without_double_counting() {
+        let stats = instrumented_run();
+        let report = BuildReport::from_stats(&stats);
+        assert_eq!(report.nodes.len(), 3);
+        let root = &report.nodes[0];
+        assert_eq!((root.id, root.depth), (1, 0));
+        assert_eq!(root.records, 100);
+        // Nested work.scan is inside work.large for the same node: the
+        // root's seconds equal the work.large totals, not double.
+        let reg = MetricsRegistry::from_stats(&stats);
+        let large: f64 = reg
+            .rows()
+            .iter()
+            .filter(|r| r.name == "work.large")
+            .map(|r| r.seconds())
+            .sum();
+        assert!((root.seconds - large).abs() < 1e-12);
+        assert_eq!(root.components.len(), 1);
+        assert_eq!(root.components[0].0, "work.large");
+
+        assert_eq!(report.levels.len(), 2);
+        let l1 = &report.levels[1];
+        assert_eq!((l1.depth, l1.nodes, l1.records), (1, 2, 100));
+        // Rank 1 did 3x rank 0's depth-1 work: imbalance = max/mean = 1.5.
+        assert!((l1.imbalance - 1.5).abs() < 1e-9, "imbalance {}", l1.imbalance);
+        let by_depth: f64 = report.nodes[1].seconds + report.nodes[2].seconds;
+        assert!((l1.seconds - by_depth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_hotspots_and_gauges() {
+        let stats = instrumented_run();
+        let report = BuildReport::from_stats(&stats);
+        for r in &report.ranks {
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+            assert!((r.busy_seconds - (r.finish_time - stats[r.rank].idle_time())).abs() < 1e-12);
+        }
+        assert!(!report.hotspots.is_empty());
+        assert!(report.hotspots.windows(2).all(|w| w[0].score >= w[1].score));
+        let ws = report.hotspots.iter().find(|h| h.name == "work.small").unwrap();
+        assert!(ws.imbalance > 1.0);
+        assert!(report.gauge_peak("app.level") == 2.0);
+        let text = report.render();
+        assert!(text.contains("imbalance"));
+        assert!(text.contains("app.level"));
+        let table = report.level_table();
+        assert!(table.lines().count() == 3, "header + 2 levels:\n{table}");
+    }
+
+    #[test]
+    fn empty_run_reports_cleanly() {
+        let out = Cluster::new(1).run(|_| {});
+        let report = BuildReport::from_stats(&out.stats);
+        assert!(report.nodes.is_empty());
+        assert!(report.levels.is_empty());
+        assert_eq!(report.ranks[0].utilization, 1.0);
+        assert!(!report.render().is_empty());
+    }
+}

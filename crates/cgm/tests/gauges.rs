@@ -1,0 +1,91 @@
+//! Resource gauges must be pure observation: enabling them cannot move a
+//! single bit of virtual time or any counter, two identical gauged runs
+//! record identical samples, and the built-in mailbox/device gauges trace
+//! the queues the machine actually held.
+
+use pdc_cgm::{resolve_series, Cluster, GaugeSeries, MachineConfig, OpKind, Proc};
+
+/// A two-rank program exercising every built-in cgm gauge: rank 0 posts
+/// two messages and an asynchronous device request while rank 1 is still
+/// computing, so the receiver's mailbox genuinely holds both messages for
+/// a while before they are drained.
+fn program(proc: &mut Proc) {
+    if proc.rank() == 0 {
+        proc.send_bytes(1, 7, vec![0u8; 1024]);
+        proc.send_bytes(1, 7, vec![0u8; 2048]);
+        let a = proc.io_device_submit(1 << 16, true);
+        let b = proc.io_device_submit(1 << 16, false);
+        proc.io_device_wait(a);
+        proc.io_device_wait(b);
+    } else {
+        // Stay busy long past both arrivals, then drain the mailbox.
+        proc.charge(OpKind::Misc, 50_000_000);
+        let a = proc.recv_bytes(0, 7);
+        let b = proc.recv_bytes(0, 7);
+        proc.gauge("test.received", (a.len() + b.len()) as f64);
+    }
+}
+
+fn gauged_config() -> MachineConfig {
+    MachineConfig {
+        gauges: true,
+        ..MachineConfig::default()
+    }
+}
+
+fn series_of<'a>(series: &'a [GaugeSeries], name: &str) -> &'a GaugeSeries {
+    series
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("missing gauge {name}"))
+}
+
+#[test]
+fn gauges_are_pure_observation() {
+    let plain = Cluster::new(2).run(program);
+    let gauged = Cluster::with_config(2, gauged_config()).run(program);
+    for (a, b) in plain.stats.iter().zip(&gauged.stats) {
+        assert!(a.gauges.is_empty(), "gauges recorded while disabled");
+        assert!(!b.gauges.is_empty(), "no gauges recorded while enabled");
+        assert_eq!(
+            a.finish_time.to_bits(),
+            b.finish_time.to_bits(),
+            "rank {}: gauges perturbed the virtual clock",
+            a.rank
+        );
+        assert_eq!(a.counters, b.counters, "rank {}: counters diverged", a.rank);
+    }
+}
+
+#[test]
+fn identical_gauged_runs_record_identical_samples() {
+    let a = Cluster::with_config(2, gauged_config()).run(program);
+    let b = Cluster::with_config(2, gauged_config()).run(program);
+    for (x, y) in a.stats.iter().zip(&b.stats) {
+        assert_eq!(x.gauges, y.gauges, "rank {}: samples diverged", x.rank);
+    }
+}
+
+#[test]
+fn builtin_gauges_trace_the_machine_queues() {
+    let out = Cluster::with_config(2, gauged_config()).run(program);
+
+    // Rank 0 queued the second device request behind the first.
+    let r0 = resolve_series(&out.stats[0].gauges);
+    assert_eq!(series_of(&r0, "cgm.device.queue").peak(), 2.0);
+
+    // Rank 1's mailbox held both messages while it computed; the in-flight
+    // bytes gauge saw at least the two payloads together.
+    let r1 = resolve_series(&out.stats[1].gauges);
+    assert_eq!(series_of(&r1, "cgm.mailbox.depth").peak(), 2.0);
+    assert!(series_of(&r1, "cgm.mailbox.bytes").peak() >= 3072.0);
+    assert_eq!(series_of(&r1, "test.received").peak(), 3072.0);
+
+    // Every queue drains by the end of the run.
+    for series in r0.iter().chain(&r1) {
+        if series.name.starts_with("cgm.") {
+            let (_, last) = *series.points.last().unwrap();
+            assert_eq!(last, 0.0, "{} did not drain", series.name);
+        }
+    }
+}

@@ -78,6 +78,14 @@ pub trait OocProblem: Sync {
     /// Is this task small enough for single-processor in-core processing?
     fn is_small(&self, meta: &Self::Meta) -> bool;
 
+    /// Size of the task's data in bytes. Drives the scheduler's
+    /// `dnc.resident_bytes` gauge (memory footprint of the small tasks a
+    /// processor is solving — see [`pdc_cgm::gauge`]); purely
+    /// observational. Default: 0 (no footprint reported).
+    fn task_bytes(&self, _meta: &Self::Meta) -> u64 {
+        0
+    }
+
     /// *Collective.* Process one task with all processors (data
     /// parallelism): derive the division, partition the task's local data,
     /// and report the split (or that the task is solved).

@@ -215,7 +215,9 @@ fn run_mixed<P: OocProblem>(
     } else {
         queue.push_back(root);
     }
+    proc.gauge("dnc.queue.len", queue.len() as f64);
     while let Some(task) = queue.pop_front() {
+        proc.gauge("dnc.queue.len", queue.len() as f64);
         report.large_tasks += 1;
         report.max_depth = report.max_depth.max(task.depth);
         // Task-queue lookahead: hint the next queued task so an engine can
@@ -243,6 +245,7 @@ fn run_mixed<P: OocProblem>(
                     queue.push_back(child);
                 }
             }
+            proc.gauge("dnc.queue.len", queue.len() as f64);
         }
     }
     if !small.is_empty() {
@@ -290,6 +293,14 @@ fn dispatch_small<P: OocProblem>(
             {
                 problem.prefetch_task(proc, next);
             }
+            // The task's data is resident on this rank from the start of
+            // the local solve until it completes (retries included).
+            let resident = if proc.gauges_enabled() {
+                problem.task_bytes(&task.meta) as f64
+            } else {
+                0.0
+            };
+            proc.gauge_delta("dnc.resident_bytes", proc.clock(), resident);
             let before = proc.clock();
             problem.solve_small_local(proc, task);
             report.local_small_tasks += 1;
@@ -308,6 +319,7 @@ fn dispatch_small<P: OocProblem>(
                     attempt += 1;
                 }
             }
+            proc.gauge_delta("dnc.resident_bytes", proc.clock(), -resident);
         }
     }
     proc.span_end(span);

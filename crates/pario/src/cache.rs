@@ -103,6 +103,22 @@ impl BufferPool {
         self.budget_pages
     }
 
+    /// Number of dirty (not-yet-written-back) pages currently held.
+    pub fn dirty_pages(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|p| p.dirty))
+            .count()
+    }
+
+    /// Number of pinned (eviction-exempt) pages currently held.
+    pub fn pinned_pages(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|p| p.pinned))
+            .count()
+    }
+
     /// State of the page under `key`, if cached.
     pub fn state(&self, key: PageKey) -> Option<PageState> {
         self.map

@@ -124,6 +124,18 @@ impl IoEngine {
         self.file_bytes.insert(file, len);
     }
 
+    /// Sample the pool and write-back state as gauges (see
+    /// [`pdc_cgm::gauge`]). Pure observation; free when gauges are off.
+    fn sample_pool(&self, proc: &mut Proc) {
+        if !proc.gauges_enabled() {
+            return;
+        }
+        proc.gauge("pario.pool.pages", self.pool.len() as f64);
+        proc.gauge("pario.pool.dirty", self.pool.dirty_pages() as f64);
+        proc.gauge("pario.pool.pinned", self.pool.pinned_pages() as f64);
+        proc.gauge("pario.engine.pending", self.pending.len() as f64);
+    }
+
     /// The file was deleted or truncated: drop its pages (dirty pages of a
     /// deleted scratch file never pay write-back — deliberately, a real
     /// write-back cache absorbs short-lived temporaries the same way) and
@@ -206,6 +218,9 @@ impl IoEngine {
                 result = self.fetch_run(proc, file, rs, p1, &mut pinned);
             }
         }
+        // Sample before unpinning so the pinned high-water mark of this
+        // request is observable.
+        self.sample_pool(proc);
         for key in pinned {
             self.pool.set_pinned(key, false);
         }
@@ -267,6 +282,7 @@ impl IoEngine {
                 self.insert(proc, key, PageState::Resident, true);
             }
         }
+        self.sample_pool(proc);
         self.maybe_flush(proc);
     }
 
@@ -301,6 +317,7 @@ impl IoEngine {
         if let Some(rs) = run_start.take() {
             self.prefetch_run(proc, file, rs, p1);
         }
+        self.sample_pool(proc);
         self.maybe_flush(proc);
     }
 
@@ -316,6 +333,12 @@ impl IoEngine {
             completion: ticket.completion,
             service: ticket.service / npages as f64,
         };
+        if proc.gauges_enabled() {
+            // The prefetched pages are in flight from submission until the
+            // request completes on the device timeline.
+            proc.gauge_delta("pario.prefetch.inflight", proc.clock(), npages as f64);
+            proc.gauge_delta("pario.prefetch.inflight", ticket.completion, -(npages as f64));
+        }
         for p in p0..=p1 {
             proc.counters.prefetches += 1;
             self.insert(proc, (file, p), PageState::InFlight(share), false);
@@ -362,5 +385,6 @@ impl IoEngine {
         self.flush_pending(proc);
         proc.io_device_sync();
         self.pool.settle_all();
+        self.sample_pool(proc);
     }
 }

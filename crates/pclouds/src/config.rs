@@ -67,6 +67,25 @@ impl PcloudsConfig {
     pub fn chunk_records(&self, record_bytes: usize) -> usize {
         (self.memory_limit_bytes / record_bytes.max(1)).max(1)
     }
+
+    /// Largest node (in records) the mixed strategy treats as *small* for a
+    /// run rooted at `n_root` records: the node sizes where the q schedule
+    /// ([`CloudsParams::q_for_node`]) has dropped to the switch threshold.
+    /// This bounds the data any one small task makes resident on its owner
+    /// (see [`pdc_dnc::OocProblem::task_bytes`]).
+    pub fn small_task_max_records(&self, n_root: u64) -> u64 {
+        let t = self.switch_threshold_intervals;
+        if self.clouds.q_min.max(1) > t {
+            return 0; // the q schedule never drops to the threshold
+        }
+        if n_root == 0 {
+            return u64::MAX; // degenerate: every node is small
+        }
+        // q_for_node(n) <= t  ⟺  floor(q_root·n / n_root) <= t
+        //                     ⟺  n <= ((t+1)·n_root − 1) / q_root
+        let q_root = self.clouds.q_root.max(1) as u128;
+        (((t as u128 + 1) * n_root as u128 - 1) / q_root) as u64
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +105,24 @@ mod tests {
             ..PcloudsConfig::default()
         };
         assert_eq!(tiny.chunk_records(52), 1, "never zero");
+    }
+
+    #[test]
+    fn small_task_bound_matches_the_q_schedule() {
+        let cfg = PcloudsConfig::default();
+        let n_root = 72_000;
+        let bound = cfg.small_task_max_records(n_root);
+        assert!(bound > 0);
+        let is_small = |n: u64| {
+            cfg.clouds.q_for_node(n, n_root) <= cfg.switch_threshold_intervals
+        };
+        assert!(is_small(bound), "the bound itself must still be small");
+        assert!(!is_small(bound + 1), "the bound must be tight");
+        let never = PcloudsConfig {
+            switch_threshold_intervals: 3, // below q_min = 10
+            ..PcloudsConfig::default()
+        };
+        assert_eq!(never.small_task_max_records(n_root), 0);
     }
 
     #[test]

@@ -686,6 +686,10 @@ impl OocProblem for PcloudsProblem<'_> {
         self.is_small_n(meta.n())
     }
 
+    fn task_bytes(&self, meta: &NodeMeta) -> u64 {
+        meta.n() * Record::ENCODED_BYTES as u64
+    }
+
     fn process_large(&self, proc: &mut Proc, task: &Task<NodeMeta>) -> Outcome<NodeMeta> {
         let id = task.id;
         let node_total = task.meta.counts.clone();
@@ -707,7 +711,8 @@ impl OocProblem for PcloudsProblem<'_> {
 
         // Phase 1: local statistics (fused from the parent when possible).
         let phase_start = proc.clock();
-        let stats_span = proc.span("pclouds.stats", &[("node", id as i64)]);
+        let stats_span =
+            proc.span("pclouds.stats", &[("node", id as i64), ("records", n as i64)]);
         let cached = {
             let mut st = self.build.rank(proc.rank());
             st.stats_cache.remove(&id)
@@ -896,7 +901,10 @@ impl OocProblem for PcloudsProblem<'_> {
 
     fn solve_small_local(&self, proc: &mut Proc, task: &Task<NodeMeta>) {
         let phase_start = proc.clock();
-        let span = proc.span("pclouds.small_solve", &[("task", task.id as i64)]);
+        let span = proc.span(
+            "pclouds.small_solve",
+            &[("task", task.id as i64), ("records", task.meta.n() as i64)],
+        );
         let records = {
             let mut disk = self.farm.lock(proc.rank());
             let f = disk.open::<Record>(&Self::owned_file(task.id));

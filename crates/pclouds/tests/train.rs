@@ -524,3 +524,132 @@ fn engine_span_rollups_still_partition_the_run() {
         );
     }
 }
+
+#[test]
+fn gauges_do_not_perturb_virtual_time() {
+    // The full observability stack — spans, trace, and resource gauges —
+    // must stay pure observation end to end: identical tree, identical
+    // finish-time bits, identical counters.
+    use pdc_cgm::MachineConfig;
+    let records = generate(5_000, GeneratorConfig::default());
+    let cfg = test_config();
+    let build = |machine: MachineConfig| {
+        let farm = DiskFarm::in_memory(4);
+        let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+        let cluster = Cluster::with_config(4, machine);
+        train(&cluster, &farm, &root, &cfg, Strategy::Mixed)
+    };
+    let baseline = build(MachineConfig::default());
+    let observed = build(MachineConfig {
+        spans: true,
+        trace: true,
+        gauges: true,
+        ..MachineConfig::default()
+    });
+    assert_eq!(baseline.tree, observed.tree);
+    for (a, b) in baseline.run.stats.iter().zip(&observed.run.stats) {
+        assert!(a.gauges.is_empty());
+        assert!(!b.gauges.is_empty(), "rank {}: no gauges recorded", b.rank);
+        assert_eq!(
+            a.finish_time.to_bits(),
+            b.finish_time.to_bits(),
+            "rank {}: finish time diverged with gauges enabled",
+            a.rank
+        );
+        assert_eq!(a.counters, b.counters, "rank {}: counters diverged", a.rank);
+    }
+}
+
+#[test]
+fn build_report_levels_reconcile_with_span_rollups() {
+    // The per-level attribution of the build report must reconstruct the
+    // same seconds as summing the node-attributed spans directly: for the
+    // mixed strategy those are the `dnc.task` spans (data-parallel nodes)
+    // and the `pclouds.small_solve` spans (locally solved small nodes).
+    use pdc_cgm::{BuildReport, MachineConfig};
+    use std::collections::BTreeMap;
+    let records = generate(8_000, GeneratorConfig::default());
+    let cfg = test_config();
+    let farm = DiskFarm::in_memory(4);
+    let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+    let machine = MachineConfig {
+        spans: true,
+        gauges: true,
+        ..MachineConfig::default()
+    };
+    let cluster = Cluster::with_config(4, machine);
+    let out = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
+    let report = BuildReport::from_stats(&out.run.stats);
+    assert!(!report.levels.is_empty());
+
+    let reg = out.span_metrics();
+    let mut expected: BTreeMap<usize, f64> = BTreeMap::new();
+    for row in reg.rows() {
+        if row.name != "dnc.task" && row.name != "pclouds.small_solve" {
+            continue;
+        }
+        let id = row
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "task")
+            .map(|&(_, v)| v as u64)
+            .expect("node-attributed span");
+        let depth = (63 - id.leading_zeros()) as usize;
+        *expected.entry(depth).or_default() += row.seconds();
+    }
+    let got: Vec<usize> = report.levels.iter().map(|l| l.depth).collect();
+    let want: Vec<usize> = expected.keys().copied().collect();
+    assert_eq!(got, want, "level set mismatch");
+    for level in &report.levels {
+        let want = expected[&level.depth];
+        assert!(
+            (level.seconds - want).abs() < 1e-9,
+            "depth {}: report {} != span rollup {}",
+            level.depth,
+            level.seconds,
+            want
+        );
+        assert!(level.imbalance >= 1.0 - 1e-12);
+    }
+}
+
+#[test]
+fn resident_task_bytes_respect_the_small_task_bound() {
+    // The `dnc.resident_bytes` gauge tracks the data a rank holds for the
+    // small task it is solving; its high-water mark can never exceed the
+    // largest node the q schedule lets the mixed strategy treat as small.
+    use pdc_cgm::{resolve_series, MachineConfig};
+    use pdc_datagen::Record;
+    use pdc_pario::Rec;
+    let records = generate(8_000, GeneratorConfig::default());
+    let cfg = test_config();
+    let farm = DiskFarm::in_memory(4);
+    let root = load_dataset(&farm, &records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+    let machine = MachineConfig {
+        gauges: true,
+        ..MachineConfig::default()
+    };
+    let cluster = Cluster::with_config(4, machine);
+    let out = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
+
+    let n_root = records.len() as u64;
+    let bound = (cfg.small_task_max_records(n_root) * Record::ENCODED_BYTES as u64) as f64;
+    assert!(bound > 0.0);
+    let mut solved_somewhere = false;
+    for s in &out.run.stats {
+        let series = resolve_series(&s.gauges);
+        let Some(resident) = series.iter().find(|g| g.name == "dnc.resident_bytes") else {
+            continue;
+        };
+        let peak = resident.peak();
+        assert!(
+            peak <= bound,
+            "rank {}: resident {peak} bytes exceeds the small-task bound {bound}",
+            s.rank
+        );
+        solved_somewhere |= peak > 0.0;
+        let (_, last) = *resident.points.last().unwrap();
+        assert_eq!(last, 0.0, "rank {}: resident bytes did not drain", s.rank);
+    }
+    assert!(solved_somewhere, "no rank ever held a small task resident");
+}
