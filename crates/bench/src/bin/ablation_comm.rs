@@ -1,0 +1,167 @@
+//! **Ablation — communication-efficient split aggregation.**
+//!
+//! Sweeps the [`pdc_pclouds::CommConfig`] × [`pdc_cgm::CollectiveTuning`]
+//! space on the fig-1 training workload at p ∈ {4, 8, 16} and writes
+//! `results/ablation_comm.csv`. Four configurations, each adding one
+//! mechanism:
+//!
+//! * **baseline** — per-attribute binomial combines (the historical
+//!   schedule; asserted bit-identical to the plain harness run),
+//! * **batched** — one reduce-scatter per node carrying every attribute's
+//!   histogram (`A` collectives → 1; `A − 1` fewer α startups per node),
+//! * **adaptive** — batched, plus cost-model-driven algorithm selection
+//!   (recursive halving when it beats the fan-in schedule),
+//! * **sparse** — adaptive, plus varint sparse wire encoding of the
+//!   interval count arrays (smaller `beta·m`, identical decoded values).
+//!
+//! The assertions are the regression contract: every configuration computes
+//! a byte-identical tree, and each mechanism strictly reduces the total
+//! virtual communication time at every processor count.
+
+use pdc_bench::harness::{csv_flag, run_pclouds, run_pclouds_comm, Scale, TableWriter};
+use pdc_dnc::Strategy;
+use pdc_pclouds::CommConfig;
+
+struct Row {
+    p: usize,
+    config: &'static str,
+    makespan: f64,
+    comm_time: f64,
+    bytes_sent: u64,
+    messages_sent: u64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let csv = csv_flag();
+    let n = scale.records(1_200_000);
+    let strategy = Strategy::Mixed;
+    eprintln!("ablation_comm: n={n}");
+    let mut rows: Vec<Row> = Vec::new();
+
+    for p in [4usize, 8, 16] {
+        // --- Regression: with every new path disabled, the run is the
+        // historical schedule bit for bit.
+        let plain = run_pclouds(n, p, scale, strategy);
+        let baseline =
+            run_pclouds_comm(n, p, scale, strategy, CommConfig::default(), false);
+        assert_eq!(plain.tree, baseline.tree);
+        for (a, b) in plain.run.stats.iter().zip(&baseline.run.stats) {
+            assert_eq!(
+                a.finish_time.to_bits(),
+                b.finish_time.to_bits(),
+                "p={p} rank {}: disabled comm paths must be bit-identical",
+                a.rank
+            );
+            assert_eq!(
+                a.counters, b.counters,
+                "p={p} rank {}: disabled comm paths must leave all counters \
+                 identical",
+                a.rank
+            );
+        }
+
+        // --- The ladder: each step adds one mechanism and must strictly
+        // reduce total virtual comm time while computing the same tree.
+        let batched = run_pclouds_comm(
+            n,
+            p,
+            scale,
+            strategy,
+            CommConfig {
+                batched_stats: true,
+                sparse_histograms: false,
+            },
+            false,
+        );
+        let adaptive = run_pclouds_comm(
+            n,
+            p,
+            scale,
+            strategy,
+            CommConfig {
+                batched_stats: true,
+                sparse_histograms: false,
+            },
+            true,
+        );
+        let sparse =
+            run_pclouds_comm(n, p, scale, strategy, CommConfig::efficient(), true);
+
+        let ladder = [
+            ("baseline", &baseline),
+            ("batched", &batched),
+            ("adaptive", &adaptive),
+            ("sparse", &sparse),
+        ];
+        for (name, out) in &ladder {
+            assert_eq!(
+                out.tree, baseline.tree,
+                "p={p} {name}: the communication schedule must never change \
+                 the computed tree"
+            );
+            let t = out.run.total_counters();
+            rows.push(Row {
+                p,
+                config: name,
+                makespan: out.runtime(),
+                comm_time: t.comm_time,
+                bytes_sent: t.bytes_sent,
+                messages_sent: t.messages_sent,
+            });
+        }
+        for pair in ladder.windows(2) {
+            let (prev_name, prev) = &pair[0];
+            let (next_name, next) = &pair[1];
+            let (a, b) = (
+                prev.run.total_counters().comm_time,
+                next.run.total_counters().comm_time,
+            );
+            assert!(
+                b < a,
+                "p={p}: {next_name} must strictly reduce comm time over \
+                 {prev_name} ({b} !< {a})"
+            );
+        }
+        let (base_t, full_t) = (
+            baseline.run.total_counters().comm_time,
+            sparse.run.total_counters().comm_time,
+        );
+        eprintln!(
+            "  p={p}: comm {base_t:.4}s -> {full_t:.4}s ({:.1}% saved), \
+             msgs {} -> {}",
+            100.0 * (1.0 - full_t / base_t),
+            baseline.run.total_counters().messages_sent,
+            sparse.run.total_counters().messages_sent,
+        );
+    }
+
+    // --- Emit the table and the checked-in CSV.
+    let headers = [
+        "p",
+        "config",
+        "makespan_s",
+        "comm_time_s",
+        "bytes_sent",
+        "messages_sent",
+    ];
+    let mut table = TableWriter::new(&headers, csv);
+    let mut csv_text = headers.join(",") + "\n";
+    for r in &rows {
+        let cells = vec![
+            r.p.to_string(),
+            r.config.to_string(),
+            format!("{:.6}", r.makespan),
+            format!("{:.6}", r.comm_time),
+            r.bytes_sent.to_string(),
+            r.messages_sent.to_string(),
+        ];
+        csv_text.push_str(&cells.join(","));
+        csv_text.push('\n');
+        table.row(cells);
+    }
+    table.print();
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/ablation_comm.csv", csv_text).expect("write csv");
+    eprintln!("  wrote results/ablation_comm.csv ({} rows)", rows.len());
+}

@@ -114,6 +114,29 @@ pub fn run_pclouds_engine(
     run_pclouds_on_engine(n, p, scale, strategy, machine_config(scale), engine)
 }
 
+/// [`run_pclouds`] with an explicit communication setup: `comm` selects the
+/// batched/sparse statistics combines ([`pdc_pclouds::CommConfig`]) and
+/// `adaptive` enables size-adaptive collective-algorithm selection
+/// ([`pdc_cgm::CollectiveTuning`]). With everything off this is
+/// bit-identical to [`run_pclouds`]; the computed tree is identical in
+/// every configuration.
+pub fn run_pclouds_comm(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    comm: pdc_pclouds::CommConfig,
+    adaptive: bool,
+) -> TrainOutput {
+    let mut machine = machine_config(scale);
+    if adaptive {
+        machine.collectives = pdc_cgm::CollectiveTuning::adaptive();
+    }
+    let mut config = experiment_config(n, scale);
+    config.comm = comm;
+    run_pclouds_custom(n, p, strategy, machine, &pdc_pario::EngineConfig::disabled(), config)
+}
+
 fn run_pclouds_on_engine(
     n: u64,
     p: usize,
@@ -122,7 +145,17 @@ fn run_pclouds_on_engine(
     machine: MachineConfig,
     engine: &pdc_pario::EngineConfig,
 ) -> TrainOutput {
-    let config = experiment_config(n, scale);
+    run_pclouds_custom(n, p, strategy, machine, engine, experiment_config(n, scale))
+}
+
+fn run_pclouds_custom(
+    n: u64,
+    p: usize,
+    strategy: Strategy,
+    machine: MachineConfig,
+    engine: &pdc_pario::EngineConfig,
+    config: PcloudsConfig,
+) -> TrainOutput {
     let stream = RecordStream::new(GeneratorConfig::default()).take(n as usize);
     let farm = DiskFarm::with_engine(p, pdc_pario::BackendKind::InMemory, engine);
     let root = load_dataset_stream(

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::cost::CostModel;
+use crate::cost::{CollectiveTuning, CostModel};
 use crate::counters::ProcStats;
 use crate::fault::FaultPlan;
 use crate::mailbox::Mailbox;
@@ -29,6 +29,10 @@ pub struct MachineConfig {
     /// Deterministic fault-injection plan (see [`crate::fault`]); the
     /// default plan is inert and changes nothing.
     pub faults: FaultPlan,
+    /// Collective-algorithm tuning (see [`crate::cost::CollectiveTuning`]).
+    /// The default keeps every collective on its single historical schedule,
+    /// so runs stay bit-identical with earlier versions.
+    pub collectives: CollectiveTuning,
 }
 
 impl Default for MachineConfig {
@@ -40,6 +44,7 @@ impl Default for MachineConfig {
             spans: false,
             gauges: false,
             faults: FaultPlan::default(),
+            collectives: CollectiveTuning::default(),
         }
     }
 }
@@ -129,6 +134,7 @@ impl Cluster {
             gauges: self.config.gauges,
             faults: self.config.faults.clone(),
             faults_inert: self.config.faults.is_inert(),
+            collectives: self.config.collectives,
         });
         let f = &f;
         let mut out: Vec<Option<(T, ProcStats)>> = (0..self.nprocs).map(|_| None).collect();

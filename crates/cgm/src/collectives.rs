@@ -31,6 +31,12 @@ const TAG_TRY_BARRIER: u32 = RESERVED_TAG_BASE + 8;
 const TAG_TRY_BCAST: u32 = RESERVED_TAG_BASE + 9;
 const TAG_TRY_REDUCE: u32 = RESERVED_TAG_BASE + 10;
 const TAG_TRY_ALLREDUCE: u32 = RESERVED_TAG_BASE + 11;
+const TAG_REDUCE_SCATTER: u32 = RESERVED_TAG_BASE + 12;
+const TAG_TRY_REDUCE_SCATTER: u32 = RESERVED_TAG_BASE + 13;
+const TAG_ALLGATHER_RING: u32 = RESERVED_TAG_BASE + 14;
+const TAG_TRY_GATHER_BLOCKS: u32 = RESERVED_TAG_BASE + 15;
+const TAG_TRY_ALLGATHER: u32 = RESERVED_TAG_BASE + 16;
+const TAG_TRY_ALLGATHER_RING: u32 = RESERVED_TAG_BASE + 17;
 
 impl Proc {
     /// Relative rank with respect to `root` (tree algorithms are written for
@@ -244,9 +250,19 @@ impl Proc {
     }
 
     fn min_loc_inner(&mut self, value: f64) -> (f64, usize) {
+        // Total order on the score: NaN compares as +infinity, so a poisoned
+        // local minimum can never displace a finite one and an all-NaN input
+        // still resolves deterministically (lowest rank wins ties).
+        fn key(v: f64) -> f64 {
+            if v.is_nan() {
+                f64::INFINITY
+            } else {
+                v
+            }
+        }
         let pair = (value, self.rank() as u64);
         let (v, r) = self.allreduce(pair, |a, b| {
-            if (b.0, b.1) < (a.0, a.1) {
+            if (key(b.0), b.1) < (key(a.0), a.1) {
                 b
             } else {
                 a
@@ -391,7 +407,22 @@ impl Proc {
             return vec![value];
         }
         let mut acc: Vec<(u64, Vec<u8>)> = vec![(self.rank() as u64, value.to_bytes())];
-        if is_pow2(p) {
+        // Under adaptive tuning the schedule is picked by modeled cost. The
+        // comparison is size-independent on this machine (both schedules
+        // share the `tw·m·(p-1)` bandwidth term and the ring pays `p - 1`
+        // startups against doubling's `log p`), so for power-of-two `p` it
+        // always resolves to recursive doubling — the check documents the
+        // decision rather than ever flipping it.
+        let use_doubling = is_pow2(p) && {
+            if self.collective_tuning().adaptive {
+                let net = self.cost_model().network;
+                let bytes = acc[0].1.len();
+                net.doubling_all_gather_cost(bytes, p) <= net.ring_all_gather_cost(bytes, p)
+            } else {
+                true
+            }
+        };
+        if use_doubling {
             let d = log2ceil(p);
             for i in 0..d {
                 let peer = partner(self.rank(), i);
@@ -419,9 +450,284 @@ impl Proc {
             .collect()
     }
 
+    /// All-gather on an explicit ring schedule (`p - 1` rounds, each
+    /// forwarding the previous round's receipt): `(p-1)·(ts + tw·m)`. This
+    /// is the bandwidth-optimal large-message schedule on machines where
+    /// recursive doubling does not apply; on power-of-two `p` under the
+    /// default cost model doubling has the same `tw·m·(p-1)` bandwidth term
+    /// with fewer startups, which is why the adaptive [`Proc::all_gather`]
+    /// keeps picking doubling there (see
+    /// [`crate::cost::NetworkParams::ring_all_gather_cost`]).
+    pub fn all_gather_ring<T: Wire>(&mut self, value: T) -> Vec<T> {
+        let t = self.span("cgm.all_gather.ring", &[]);
+        let out = self.all_gather_ring_inner(value);
+        self.span_end(t);
+        out
+    }
+
+    fn all_gather_ring_inner<T: Wire>(&mut self, value: T) -> Vec<T> {
+        let p = self.nprocs();
+        if p == 1 {
+            return vec![value];
+        }
+        let next = (self.rank() + 1) % p;
+        let prev = (self.rank() + p - 1) % p;
+        let mut acc: Vec<(u64, Vec<u8>)> = vec![(self.rank() as u64, value.to_bytes())];
+        let mut to_forward = acc.clone();
+        for i in 0..p - 1 {
+            let tag = TAG_ALLGATHER_RING + ((i as u32 & 0xFF) << 8);
+            self.send(next, tag, &to_forward);
+            let received: Vec<(u64, Vec<u8>)> = self.recv(prev, tag);
+            acc.extend(received.iter().cloned());
+            to_forward = received;
+        }
+        acc.sort_by_key(|(rank, _)| *rank);
+        debug_assert_eq!(acc.len(), p);
+        acc.into_iter()
+            .map(|(_, bytes)| T::from_bytes(&bytes).expect("all_gather decode"))
+            .collect()
+    }
+
     // ------------------------------------------------------------------
-    // All-to-all personalized (v)
+    // Large-message collectives: reduce-scatter, block reduce/allreduce
     // ------------------------------------------------------------------
+    //
+    // The binomial schedules above move the *whole* payload `log p` times,
+    // which is right for latency-bound messages but wasteful for the large
+    // multi-attribute histograms of the stats phase. The collectives below
+    // operate on splittable payloads and can switch to recursive halving
+    // (Rabenseifner-style), which moves only `m·(p-1)/p` bytes per phase.
+    // Selection is driven by the machine's [`crate::cost::NetworkParams`]
+    // and gated on [`crate::cost::CollectiveTuning::adaptive`]; with the
+    // default (non-adaptive) tuning every call uses the single historical
+    // schedule. Either way the *values* produced are identical for exactly
+    // associative and commutative combines — only virtual time changes.
+    //
+    // `approx_bytes` is the payload size used for selection. It must be
+    // computed identically on every rank (SPMD discipline: all ranks have to
+    // pick the same schedule), so callers should derive it from shared shape
+    // information — e.g. the dense encoded size — not from a rank-local
+    // (possibly sparse) encoding.
+
+    /// Whether the adaptive tuning picks recursive halving for a
+    /// reduce-scatter of `approx_bytes` total payload.
+    fn pick_halving_reduce_scatter(&self, approx_bytes: usize) -> bool {
+        let p = self.nprocs();
+        if !self.collective_tuning().adaptive || !is_pow2(p) || p == 1 {
+            return false;
+        }
+        let net = self.cost_model().network;
+        net.halving_reduce_scatter_cost(approx_bytes, p) < net.fanin_scatter_cost(approx_bytes, p)
+    }
+
+    /// Whether the adaptive tuning picks reduce-scatter + (all)gather for a
+    /// reduce or allreduce of `approx_bytes` total payload.
+    fn pick_halving_combine(&self, approx_bytes: usize) -> bool {
+        let p = self.nprocs();
+        if !self.collective_tuning().adaptive || !is_pow2(p) || p == 1 {
+            return false;
+        }
+        let net = self.cost_model().network;
+        net.halving_allreduce_cost(approx_bytes, p) < net.binomial_combine_cost(approx_bytes, p)
+    }
+
+    /// Reduce-scatter over per-destination blocks: every rank contributes
+    /// `blocks[j]` toward rank `j` (one block per rank, element counts
+    /// aligned across ranks per destination) and receives its own block
+    /// combined over all ranks. `combine` must be associative and
+    /// commutative.
+    ///
+    /// Non-adaptive schedule: binomial fan-in of the whole payload to rank 0
+    /// followed by a scatter. Adaptive + power-of-two `p`: recursive halving
+    /// when the cost model favors it (the payload halves every round, so
+    /// only `m·(p-1)/p` bytes cross the network).
+    pub fn reduce_scatter_blocks<T: Wire>(
+        &mut self,
+        blocks: Vec<Vec<T>>,
+        approx_bytes: usize,
+        combine: impl Fn(T, T) -> T,
+    ) -> Vec<T> {
+        if self.pick_halving_reduce_scatter(approx_bytes) {
+            let t = self.span("cgm.reduce_scatter.halving", &[]);
+            let out = self.reduce_scatter_halving(blocks, combine);
+            self.span_end(t);
+            out
+        } else {
+            let t = self.span("cgm.reduce_scatter.fanin", &[]);
+            let out = self.reduce_scatter_fanin(blocks, combine);
+            self.span_end(t);
+            out
+        }
+    }
+
+    fn check_blocks<T>(&self, blocks: &[Vec<T>]) {
+        assert_eq!(
+            blocks.len(),
+            self.nprocs(),
+            "reduce_scatter needs exactly one block per rank"
+        );
+    }
+
+    fn combine_block<T>(a: Vec<T>, b: Vec<T>, combine: &impl Fn(T, T) -> T) -> Vec<T> {
+        assert_eq!(a.len(), b.len(), "reduce_scatter blocks must align across ranks");
+        a.into_iter().zip(b).map(|(x, y)| combine(x, y)).collect()
+    }
+
+    fn reduce_scatter_fanin<T: Wire>(
+        &mut self,
+        blocks: Vec<Vec<T>>,
+        combine: impl Fn(T, T) -> T,
+    ) -> Vec<T> {
+        self.check_blocks(&blocks);
+        let p = self.nprocs();
+        if p == 1 {
+            return blocks.into_iter().next().unwrap();
+        }
+        let merged = self.reduce_inner(0, blocks, |a: Vec<Vec<T>>, b: Vec<Vec<T>>| {
+            a.into_iter()
+                .zip(b)
+                .map(|(x, y)| Self::combine_block(x, y, &combine))
+                .collect()
+        });
+        if self.rank() == 0 {
+            let mut merged = merged.expect("rank 0 holds the fan-in result");
+            for (j, block) in merged.drain(1..).enumerate() {
+                self.send(j + 1, TAG_REDUCE_SCATTER, &block);
+            }
+            merged.into_iter().next().unwrap()
+        } else {
+            self.recv(0, TAG_REDUCE_SCATTER)
+        }
+    }
+
+    fn reduce_scatter_halving<T: Wire>(
+        &mut self,
+        blocks: Vec<Vec<T>>,
+        combine: impl Fn(T, T) -> T,
+    ) -> Vec<T> {
+        self.check_blocks(&blocks);
+        let p = self.nprocs();
+        debug_assert!(is_pow2(p) && p > 1);
+        // Destination-tagged blocks, kept sorted by destination; each round
+        // halves the set of destinations this rank still carries.
+        let mut entries: Vec<(usize, Vec<T>)> = blocks.into_iter().enumerate().collect();
+        let d = log2ceil(p);
+        for i in 0..d {
+            let mask = p >> (i + 1);
+            let peer = partner(self.rank(), d - 1 - i);
+            debug_assert_eq!(peer, self.rank() ^ mask);
+            let (keep, send): (Vec<_>, Vec<_>) = entries
+                .into_iter()
+                .partition(|(dst, _)| dst & mask == self.rank() & mask);
+            let tag = TAG_REDUCE_SCATTER + ((i as u32) << 8);
+            let payload: Vec<Vec<T>> = send.into_iter().map(|(_, v)| v).collect();
+            // The peer's send set is exactly my keep set's destinations, in
+            // the same ascending order, so a positional zip aligns.
+            let other: Vec<Vec<T>> = self.exchange(peer, tag, &payload);
+            assert_eq!(other.len(), keep.len(), "reduce_scatter halves must mirror");
+            let lower_first = self.rank() < peer;
+            entries = keep
+                .into_iter()
+                .zip(other)
+                .map(|((dst, mine), theirs)| {
+                    let merged = if lower_first {
+                        Self::combine_block(mine, theirs, &combine)
+                    } else {
+                        Self::combine_block(theirs, mine, &combine)
+                    };
+                    (dst, merged)
+                })
+                .collect();
+        }
+        debug_assert_eq!(entries.len(), 1);
+        let (dst, block) = entries.pop().unwrap();
+        debug_assert_eq!(dst, self.rank());
+        block
+    }
+
+    /// All-to-one reduction of an element vector, combined element-wise.
+    /// Semantically identical to [`Proc::reduce`] with a zipped combine;
+    /// under adaptive tuning large payloads switch to recursive-halving
+    /// reduce-scatter followed by a binomial block gather to `root`, moving
+    /// `2·m·(p-1)/p` bytes instead of `m·log p`.
+    pub fn reduce_elems<T: Wire>(
+        &mut self,
+        root: usize,
+        values: Vec<T>,
+        approx_bytes: usize,
+        combine: impl Fn(T, T) -> T,
+    ) -> Option<Vec<T>> {
+        if self.pick_halving_combine(approx_bytes) {
+            let t = self.span("cgm.reduce.halving", &[("root", root as i64)]);
+            let my_block = self.reduce_scatter_halving(
+                Self::partition_blocks(values, self.nprocs()),
+                &combine,
+            );
+            // Binomial gather of the combined blocks: volumes double up the
+            // tree, `log p` startups, `m·(p-1)/p` bytes on the critical path.
+            let out = self
+                .gather_blocks_inner(root, my_block)
+                .map(|blocks| blocks.into_iter().flatten().collect());
+            self.span_end(t);
+            out
+        } else {
+            let t = self.span("cgm.reduce.binomial", &[("root", root as i64)]);
+            let out = self.reduce_inner(root, values, |a, b| Self::combine_block(a, b, &combine));
+            self.span_end(t);
+            out
+        }
+    }
+
+    /// All-to-all reduction of an element vector, combined element-wise.
+    /// Semantically identical to [`Proc::allreduce`] with a zipped combine;
+    /// under adaptive tuning large payloads switch to recursive-halving
+    /// reduce-scatter followed by a recursive-doubling all-gather of the
+    /// combined blocks (Rabenseifner's allreduce).
+    pub fn allreduce_elems<T: Wire>(
+        &mut self,
+        values: Vec<T>,
+        approx_bytes: usize,
+        combine: impl Fn(T, T) -> T,
+    ) -> Vec<T> {
+        if self.pick_halving_combine(approx_bytes) {
+            let t = self.span("cgm.allreduce.rsag", &[]);
+            let my_block = self.reduce_scatter_halving(
+                Self::partition_blocks(values, self.nprocs()),
+                &combine,
+            );
+            let gathered: Vec<Vec<T>> = self.all_gather_inner(my_block);
+            let out = gathered.into_iter().flatten().collect();
+            self.span_end(t);
+            out
+        } else {
+            let t = self.span("cgm.allreduce.doubling", &[]);
+            let out = self.allreduce_inner(values, |a, b| Self::combine_block(a, b, &combine));
+            self.span_end(t);
+            out
+        }
+    }
+
+    /// Split `values` into `p` contiguous blocks (block `j` is
+    /// `values[len·j/p .. len·(j+1)/p]`), identically on every rank.
+    fn partition_blocks<T>(values: Vec<T>, p: usize) -> Vec<Vec<T>> {
+        let len = values.len();
+        let mut blocks: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        let mut hi = 0usize;
+        let mut iter = values.into_iter();
+        for (j, block) in blocks.iter_mut().enumerate() {
+            let lo = hi;
+            hi = len * (j + 1) / p;
+            block.extend(iter.by_ref().take(hi - lo));
+        }
+        blocks
+    }
+
+    /// Binomial gather of per-rank blocks to `root`, returning them in rank
+    /// order on the root (like [`Proc::gather`], but span-free so callers
+    /// can attribute it to their own schedule).
+    fn gather_blocks_inner<T: Wire>(&mut self, root: usize, block: Vec<T>) -> Option<Vec<Vec<T>>> {
+        self.gather_inner(root, block)
+    }
 
     /// Personalized all-to-all: `parts[j]` is delivered to rank `j`; the
     /// result's element `i` is what rank `i` addressed to this rank.
@@ -748,6 +1054,352 @@ impl Proc {
                     (Err(e), _) | (_, Err(e)) => Err(e),
                 }
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-aware large-message collectives
+    // ------------------------------------------------------------------
+
+    /// Fault-aware [`Proc::reduce_scatter_blocks`]: same schedule selection,
+    /// but a permanent link failure surfaces as `Err` (poison propagates
+    /// along every remaining edge) instead of hanging.
+    pub fn try_reduce_scatter_blocks<T: Wire>(
+        &mut self,
+        blocks: Vec<Vec<T>>,
+        approx_bytes: usize,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<Vec<T>, FaultError> {
+        if self.pick_halving_reduce_scatter(approx_bytes) {
+            let t = self.span("cgm.try_reduce_scatter.halving", &[]);
+            let out = self.try_reduce_scatter_halving(blocks, combine);
+            self.span_end(t);
+            out
+        } else {
+            let t = self.span("cgm.try_reduce_scatter.fanin", &[]);
+            let out = self.try_reduce_scatter_fanin(blocks, combine);
+            self.span_end(t);
+            out
+        }
+    }
+
+    fn try_reduce_scatter_fanin<T: Wire>(
+        &mut self,
+        blocks: Vec<Vec<T>>,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<Vec<T>, FaultError> {
+        self.check_blocks(&blocks);
+        let p = self.nprocs();
+        if p == 1 {
+            return Ok(blocks.into_iter().next().unwrap());
+        }
+        let merged = self.try_reduce_inner(0, blocks, |a: Vec<Vec<T>>, b: Vec<Vec<T>>| {
+            a.into_iter()
+                .zip(b)
+                .map(|(x, y)| Self::combine_block(x, y, &combine))
+                .collect()
+        });
+        if self.rank() == 0 {
+            match merged {
+                Ok(Some(mut bs)) => {
+                    let mut fault: Option<FaultError> = None;
+                    for (j, block) in bs.drain(1..).enumerate() {
+                        if fault.is_none() {
+                            if let Err(e) = self.try_send(j + 1, TAG_TRY_REDUCE_SCATTER, &block) {
+                                fault = Some(e);
+                            }
+                        } else {
+                            self.send_poison(j + 1, TAG_TRY_REDUCE_SCATTER);
+                        }
+                    }
+                    match fault {
+                        None => Ok(bs.into_iter().next().unwrap()),
+                        Some(e) => Err(e),
+                    }
+                }
+                Ok(None) => unreachable!("rank 0 holds the fan-in result"),
+                Err(e) => {
+                    for j in 1..p {
+                        self.send_poison(j, TAG_TRY_REDUCE_SCATTER);
+                    }
+                    Err(e)
+                }
+            }
+        } else {
+            let scattered = self.try_recv::<Vec<T>>(0, TAG_TRY_REDUCE_SCATTER);
+            match (merged, scattered) {
+                (Ok(_), Ok(block)) => Ok(block),
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
+    }
+
+    fn try_reduce_scatter_halving<T: Wire>(
+        &mut self,
+        blocks: Vec<Vec<T>>,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<Vec<T>, FaultError> {
+        self.check_blocks(&blocks);
+        let p = self.nprocs();
+        debug_assert!(is_pow2(p) && p > 1);
+        let mut entries: Vec<(usize, Vec<T>)> = blocks.into_iter().enumerate().collect();
+        let mut fault: Option<FaultError> = None;
+        let d = log2ceil(p);
+        for i in 0..d {
+            let mask = p >> (i + 1);
+            let peer = self.rank() ^ mask;
+            let (keep, send): (Vec<_>, Vec<_>) = entries
+                .into_iter()
+                .partition(|(dst, _)| dst & mask == self.rank() & mask);
+            let tag = TAG_TRY_REDUCE_SCATTER + ((i as u32) << 8);
+            if fault.is_none() {
+                let payload: Vec<Vec<T>> = send.into_iter().map(|(_, v)| v).collect();
+                if let Err(e) = self.try_send(peer, tag, &payload) {
+                    fault = Some(e);
+                }
+            } else {
+                self.send_poison(peer, tag);
+            }
+            match self.try_recv::<Vec<Vec<T>>>(peer, tag) {
+                Ok(other) if fault.is_none() => {
+                    assert_eq!(other.len(), keep.len(), "reduce_scatter halves must mirror");
+                    let lower_first = self.rank() < peer;
+                    entries = keep
+                        .into_iter()
+                        .zip(other)
+                        .map(|((dst, mine), theirs)| {
+                            let merged = if lower_first {
+                                Self::combine_block(mine, theirs, &combine)
+                            } else {
+                                Self::combine_block(theirs, mine, &combine)
+                            };
+                            (dst, merged)
+                        })
+                        .collect();
+                }
+                Ok(_) => entries = keep,
+                Err(e) => {
+                    fault.get_or_insert(e);
+                    entries = keep;
+                }
+            }
+        }
+        match fault {
+            None => {
+                debug_assert_eq!(entries.len(), 1);
+                let (dst, block) = entries.pop().unwrap();
+                debug_assert_eq!(dst, self.rank());
+                Ok(block)
+            }
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Fault-aware [`Proc::reduce_elems`]: `Ok(Some(result))` on `root`,
+    /// `Ok(None)` elsewhere, `Err` on a fault or consumed poison.
+    pub fn try_reduce_elems<T: Wire>(
+        &mut self,
+        root: usize,
+        values: Vec<T>,
+        approx_bytes: usize,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<Option<Vec<T>>, FaultError> {
+        if self.pick_halving_combine(approx_bytes) {
+            let t = self.span("cgm.try_reduce.halving", &[("root", root as i64)]);
+            let state = self.try_reduce_scatter_halving(
+                Self::partition_blocks(values, self.nprocs()),
+                &combine,
+            );
+            let out = self.try_gather_blocks(root, state);
+            self.span_end(t);
+            out
+        } else {
+            let t = self.span("cgm.try_reduce.binomial", &[("root", root as i64)]);
+            let out =
+                self.try_reduce_inner(root, values, |a, b| Self::combine_block(a, b, &combine));
+            self.span_end(t);
+            out
+        }
+    }
+
+    /// Binomial gather of per-rank combined blocks to `root`, with poison
+    /// propagation; the root concatenates the blocks in rank order.
+    fn try_gather_blocks<T: Wire>(
+        &mut self,
+        root: usize,
+        state: Result<Vec<T>, FaultError>,
+    ) -> Result<Option<Vec<T>>, FaultError> {
+        let p = self.nprocs();
+        if p == 1 {
+            return state.map(Some);
+        }
+        let rel = self.rel(root);
+        let d = log2ceil(p);
+        let mut acc: Result<Vec<(u64, Vec<u8>)>, FaultError> =
+            state.map(|block| vec![(self.rank() as u64, block.to_bytes())]);
+        for i in 0..d {
+            let mask = 1usize << i;
+            let tag = TAG_TRY_GATHER_BLOCKS + ((i as u32) << 8);
+            if rel & mask != 0 {
+                let dst = self.abs(rel & !mask, root);
+                return match acc {
+                    Ok(v) => {
+                        self.try_send(dst, tag, &v)?;
+                        Ok(None)
+                    }
+                    Err(e) => {
+                        self.send_poison(dst, tag);
+                        Err(e)
+                    }
+                };
+            }
+            let peer_rel = rel | mask;
+            if peer_rel < p {
+                let src = self.abs(peer_rel, root);
+                let other = self.try_recv::<Vec<(u64, Vec<u8>)>>(src, tag);
+                acc = match (acc, other) {
+                    (Ok(mut a), Ok(mut b)) => {
+                        a.append(&mut b);
+                        Ok(a)
+                    }
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                };
+            }
+        }
+        debug_assert_eq!(rel, 0);
+        acc.map(|mut entries| {
+            entries.sort_by_key(|(rank, _)| *rank);
+            debug_assert_eq!(entries.len(), p);
+            Some(
+                entries
+                    .into_iter()
+                    .flat_map(|(_, bytes)| {
+                        Vec::<T>::from_bytes(&bytes).expect("gather_blocks decode")
+                    })
+                    .collect(),
+            )
+        })
+    }
+
+    /// Fault-aware [`Proc::allreduce_elems`].
+    pub fn try_allreduce_elems<T: Wire>(
+        &mut self,
+        values: Vec<T>,
+        approx_bytes: usize,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<Vec<T>, FaultError> {
+        if self.pick_halving_combine(approx_bytes) {
+            let t = self.span("cgm.try_allreduce.rsag", &[]);
+            let state = self.try_reduce_scatter_halving(
+                Self::partition_blocks(values, self.nprocs()),
+                &combine,
+            );
+            let out = self
+                .try_all_gather_doubling(state)
+                .map(|blocks| blocks.into_iter().flatten().collect());
+            self.span_end(t);
+            out
+        } else {
+            let t = self.span("cgm.try_allreduce.doubling", &[]);
+            let out =
+                self.try_allreduce_inner(values, |a, b| Self::combine_block(a, b, &combine));
+            self.span_end(t);
+            out
+        }
+    }
+
+    /// Recursive-doubling all-gather of per-rank blocks with poison
+    /// propagation (power-of-two `p` only, like the halving phase it
+    /// follows).
+    fn try_all_gather_doubling<T: Wire>(
+        &mut self,
+        state: Result<Vec<T>, FaultError>,
+    ) -> Result<Vec<Vec<T>>, FaultError> {
+        let p = self.nprocs();
+        debug_assert!(is_pow2(p) && p > 1);
+        let d = log2ceil(p);
+        let mut acc: Result<Vec<(u64, Vec<u8>)>, FaultError> =
+            state.map(|block| vec![(self.rank() as u64, block.to_bytes())]);
+        for i in 0..d {
+            let peer = partner(self.rank(), i);
+            let tag = TAG_TRY_ALLGATHER + ((i as u32) << 8);
+            let sent = match &acc {
+                Ok(v) => self.try_send(peer, tag, v),
+                Err(_) => {
+                    self.send_poison(peer, tag);
+                    Ok(())
+                }
+            };
+            let other = self.try_recv::<Vec<(u64, Vec<u8>)>>(peer, tag);
+            acc = match (acc, sent, other) {
+                (Ok(mut a), Ok(()), Ok(mut b)) => {
+                    a.append(&mut b);
+                    Ok(a)
+                }
+                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => Err(e),
+            };
+        }
+        acc.map(|mut entries| {
+            entries.sort_by_key(|(rank, _)| *rank);
+            debug_assert_eq!(entries.len(), p);
+            entries
+                .into_iter()
+                .map(|(_, bytes)| Vec::<T>::from_bytes(&bytes).expect("all_gather decode"))
+                .collect()
+        })
+    }
+
+    /// Fault-aware [`Proc::all_gather_ring`]: each round forwards the
+    /// previous round's receipt (or poison, once this rank has faulted).
+    pub fn try_all_gather_ring<T: Wire>(&mut self, value: T) -> Result<Vec<T>, FaultError> {
+        let t = self.span("cgm.try_all_gather.ring", &[]);
+        let out = self.try_all_gather_ring_inner(value);
+        self.span_end(t);
+        out
+    }
+
+    fn try_all_gather_ring_inner<T: Wire>(&mut self, value: T) -> Result<Vec<T>, FaultError> {
+        let p = self.nprocs();
+        if p == 1 {
+            return Ok(vec![value]);
+        }
+        let next = (self.rank() + 1) % p;
+        let prev = (self.rank() + p - 1) % p;
+        let mut fault: Option<FaultError> = None;
+        let mut acc: Vec<(u64, Vec<u8>)> = vec![(self.rank() as u64, value.to_bytes())];
+        let mut to_forward = acc.clone();
+        for i in 0..p - 1 {
+            let tag = TAG_TRY_ALLGATHER_RING + ((i as u32 & 0xFF) << 8);
+            if fault.is_none() {
+                if let Err(e) = self.try_send(next, tag, &to_forward) {
+                    fault = Some(e);
+                }
+            } else {
+                self.send_poison(next, tag);
+            }
+            match self.try_recv::<Vec<(u64, Vec<u8>)>>(prev, tag) {
+                Ok(received) => {
+                    if fault.is_none() {
+                        acc.extend(received.iter().cloned());
+                    }
+                    to_forward = received;
+                }
+                Err(e) => {
+                    fault.get_or_insert(e);
+                    to_forward = Vec::new();
+                }
+            }
+        }
+        match fault {
+            None => {
+                acc.sort_by_key(|(rank, _)| *rank);
+                debug_assert_eq!(acc.len(), p);
+                Ok(acc
+                    .into_iter()
+                    .map(|(_, bytes)| T::from_bytes(&bytes).expect("all_gather decode"))
+                    .collect())
+            }
+            Some(e) => Err(e),
         }
     }
 }

@@ -123,6 +123,82 @@ impl NetworkParams {
     pub fn message_cost(&self, bytes: usize) -> f64 {
         self.alpha + self.beta * bytes as f64
     }
+
+    /// Critical-path estimate of a binomial-tree combine (reduce, and also
+    /// recursive-doubling allreduce/all_gather exchange phases) moving the
+    /// full `bytes` payload in each of `ceil(log2 p)` rounds:
+    /// `log2(p) * (alpha + beta * m)`.
+    pub fn binomial_combine_cost(&self, bytes: usize, p: usize) -> f64 {
+        crate::topology::log2ceil(p.max(1)) as f64 * self.message_cost(bytes)
+    }
+
+    /// Critical-path estimate of a recursive-halving reduce-scatter on a
+    /// power-of-two machine: the payload halves each round, so
+    /// `log2(p) * alpha + beta * m * (p - 1) / p`.
+    pub fn halving_reduce_scatter_cost(&self, bytes: usize, p: usize) -> f64 {
+        let p = p.max(1) as f64;
+        crate::topology::log2ceil(p as usize) as f64 * self.alpha
+            + self.beta * bytes as f64 * (p - 1.0) / p
+    }
+
+    /// Critical-path estimate of reduce-scatter + allgather (the
+    /// large-message allreduce, Rabenseifner's algorithm): both phases move
+    /// `m * (p - 1) / p` bytes in `log2 p` rounds, i.e.
+    /// `2 * log2(p) * alpha + 2 * beta * m * (p - 1) / p`. The same formula
+    /// covers reduce-scatter + block gather-to-root (the large-message
+    /// `reduce`), whose gather phase doubles block sizes up the binomial
+    /// tree.
+    pub fn halving_allreduce_cost(&self, bytes: usize, p: usize) -> f64 {
+        2.0 * self.halving_reduce_scatter_cost(bytes, p)
+    }
+
+    /// Critical-path estimate of the fan-in reduce-scatter used on machines
+    /// where halving does not apply: a binomial reduce of the whole payload
+    /// followed by the root scattering `p - 1` blocks of `m / p` bytes.
+    pub fn fanin_scatter_cost(&self, bytes: usize, p: usize) -> f64 {
+        let blk = bytes / p.max(1);
+        self.binomial_combine_cost(bytes, p)
+            + p.saturating_sub(1) as f64 * self.message_cost(blk)
+    }
+
+    /// Critical-path estimate of a ring all_gather: `p - 1` rounds each
+    /// forwarding one rank's `bytes` contribution:
+    /// `(p - 1) * (alpha + beta * m)`.
+    pub fn ring_all_gather_cost(&self, bytes: usize, p: usize) -> f64 {
+        p.saturating_sub(1) as f64 * self.message_cost(bytes)
+    }
+
+    /// Critical-path estimate of a recursive-doubling all_gather whose
+    /// exchanged payload doubles each round:
+    /// `log2(p) * alpha + beta * m * (p - 1)`.
+    pub fn doubling_all_gather_cost(&self, bytes: usize, p: usize) -> f64 {
+        crate::topology::log2ceil(p.max(1)) as f64 * self.alpha
+            + self.beta * bytes as f64 * p.saturating_sub(1) as f64
+    }
+}
+
+/// Tuning knobs for the collective algorithms in `cgm::collectives`.
+///
+/// With `adaptive` off (the default) every collective uses the single
+/// schedule it always used, so existing runs stay bit-identical. With it
+/// on, the large-message collectives compare the [`NetworkParams`] cost of
+/// the candidate schedules for the advertised payload size and pick the
+/// cheaper one — binomial/doubling for latency-bound small messages,
+/// recursive halving (power-of-two machines) or ring for bandwidth-bound
+/// large ones. Results are bit-identical either way; only virtual time and
+/// message counts change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollectiveTuning {
+    /// Select collective schedules by modeled cost instead of always using
+    /// the default schedule.
+    pub adaptive: bool,
+}
+
+impl CollectiveTuning {
+    /// Cost-driven selection on (default off).
+    pub fn adaptive() -> Self {
+        CollectiveTuning { adaptive: true }
+    }
 }
 
 /// Local disk parameters (each processor owns one, shared-nothing).
@@ -296,6 +372,46 @@ mod tests {
             seen[k.index()] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn collective_costs_cross_over_with_payload_size() {
+        let net = NetworkParams::default();
+        for p in [4usize, 8, 16] {
+            // Latency-bound: a tiny payload favors the binomial tree.
+            assert!(
+                net.binomial_combine_cost(16, p) < net.halving_allreduce_cost(16, p),
+                "binomial must win tiny payloads at p={p}"
+            );
+            // Bandwidth-bound: a large payload favors halving.
+            assert!(
+                net.halving_allreduce_cost(1 << 20, p) < net.binomial_combine_cost(1 << 20, p),
+                "halving must win large payloads at p={p}"
+            );
+            assert!(
+                net.halving_reduce_scatter_cost(1 << 20, p) < net.fanin_scatter_cost(1 << 20, p),
+                "halving reduce-scatter must beat fan-in + scatter at p={p}"
+            );
+            // On this cost model recursive doubling never loses to the ring
+            // for power-of-two p (same bandwidth term, fewer startups).
+            assert!(
+                net.doubling_all_gather_cost(1 << 20, p)
+                    <= net.ring_all_gather_cost(1 << 20, p)
+            );
+        }
+        // The allreduce crossover for p = 8: m* = L*alpha / (beta*(L - 2(p-1)/p)).
+        let l = 3.0;
+        let m_star = l * net.alpha / (net.beta * (l - 2.0 * 7.0 / 8.0));
+        let below = (m_star * 0.9) as usize;
+        let above = (m_star * 1.1) as usize;
+        assert!(net.binomial_combine_cost(below, 8) < net.halving_allreduce_cost(below, 8));
+        assert!(net.halving_allreduce_cost(above, 8) < net.binomial_combine_cost(above, 8));
+    }
+
+    #[test]
+    fn collective_tuning_defaults_off() {
+        assert!(!CollectiveTuning::default().adaptive);
+        assert!(CollectiveTuning::adaptive().adaptive);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod trace;
 pub mod wire;
 
 pub use cluster::{Cluster, MachineConfig, RunOutput};
-pub use cost::{CacheParams, ComputeRates, CostModel, DiskParams, NetworkParams, OpKind};
+pub use cost::{CacheParams, CollectiveTuning, ComputeRates, CostModel, DiskParams, NetworkParams, OpKind};
 pub use counters::{Counters, ProcStats};
 pub use export::{
     chrome_trace_json, critical_path, gauges_csv, metrics_csv, metrics_jsonl, CriticalPathReport,
@@ -68,4 +68,4 @@ pub use metrics::{MetricsRegistry, NameSummary, SpanRow};
 pub use proc::{IoTicket, Proc};
 pub use report::{BuildReport, GaugeStat, Hotspot, LevelReport, NodeReport, RankUtilization};
 pub use span::{SpanAttr, SpanRecord, SpanToken};
-pub use wire::{DecodeError, Wire};
+pub use wire::{decode_varint, encode_varint, varint_len, DecodeError, Wire};

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::cost::{CostModel, OpKind};
+use crate::cost::{CollectiveTuning, CostModel, OpKind};
 use crate::counters::Counters;
 use crate::fault::{FaultError, FaultPlan, STREAM_DISK_READ, STREAM_LINK_DELAY, STREAM_LINK_DROP};
 use crate::gauge::GaugePoint;
@@ -66,6 +66,8 @@ pub struct SharedMachine {
     /// path is skipped and virtual times are bit-identical to a machine
     /// without fault injection.
     pub faults_inert: bool,
+    /// Collective-algorithm tuning (see [`CollectiveTuning`]).
+    pub collectives: CollectiveTuning,
 }
 
 /// Handle to one virtual processor, passed to the SPMD closure.
@@ -133,6 +135,11 @@ impl Proc {
     /// Current virtual time, seconds.
     pub fn clock(&self) -> f64 {
         self.clock
+    }
+
+    /// The machine's collective-algorithm tuning.
+    pub fn collective_tuning(&self) -> CollectiveTuning {
+        self.shared.collectives
     }
 
     /// The machine's cost model.

@@ -11,20 +11,37 @@ use std::fmt;
 /// Error produced when decoding a malformed or truncated message payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError {
-    /// Human-readable description of what failed to decode.
+    /// Human-readable description of what failed to decode. For the
+    /// trailing-bytes error raised by [`Wire::from_bytes`] this is the
+    /// decoded type's name (via [`std::any::type_name`]).
     pub what: &'static str,
-    /// Byte offset (from the end backwards is not tracked; this is the number
-    /// of bytes that remained when the failure happened).
+    /// Number of *unconsumed* input bytes at the point the failure was
+    /// detected (byte offsets are not tracked). For a truncation error this
+    /// is how much input was left when more was needed; for the
+    /// trailing-bytes error it is the count of extra bytes left over after
+    /// a complete, successful decode.
     pub remaining: usize,
+    /// True when the value itself decoded fine but the input had leftover
+    /// bytes (the [`Wire::from_bytes`] whole-buffer contract was violated);
+    /// false for truncated or malformed input.
+    pub trailing: bool,
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "wire decode error: {} ({} bytes remaining)",
-            self.what, self.remaining
-        )
+        if self.trailing {
+            write!(
+                f,
+                "wire decode error: {} trailing byte(s) after a complete {}",
+                self.remaining, self.what
+            )
+        } else {
+            write!(
+                f,
+                "wire decode error: {} ({} bytes remaining)",
+                self.what, self.remaining
+            )
+        }
     }
 }
 
@@ -56,8 +73,9 @@ pub trait Wire: Sized {
         let v = Self::decode(&mut bytes)?;
         if !bytes.is_empty() {
             return Err(DecodeError {
-                what: "trailing bytes after value",
+                what: std::any::type_name::<Self>(),
                 remaining: bytes.len(),
+                trailing: true,
             });
         }
         Ok(v)
@@ -69,11 +87,54 @@ fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> DecodeResult<&'
         return Err(DecodeError {
             what,
             remaining: buf.len(),
+            trailing: false,
         });
     }
     let (head, tail) = buf.split_at(n);
     *buf = tail;
     Ok(head)
+}
+
+/// Append `v` to `buf` as an LEB128 variable-length integer: seven value
+/// bits per byte, high bit set on every byte but the last. Values below 128
+/// take a single byte; a `u64` never takes more than ten. This is the
+/// building block of the sparse histogram encoding — interval class counts
+/// are mostly zero or small, so varints shrink the `beta * m` term of every
+/// histogram reduction without changing the decoded values.
+pub fn encode_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decode an LEB128 varint from the front of `buf`, advancing the slice.
+/// Rejects truncated input and encodings longer than ten bytes (the `u64`
+/// maximum), so a corrupt high-bit run cannot loop past the value.
+pub fn decode_varint(buf: &mut &[u8]) -> DecodeResult<u64> {
+    let mut v: u64 = 0;
+    for shift in 0..10u32 {
+        let byte = take(buf, 1, "varint")?[0];
+        v |= u64::from(byte & 0x7f) << (7 * shift);
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError {
+        what: "varint longer than 10 bytes",
+        remaining: buf.len(),
+        trailing: false,
+    })
+}
+
+/// The number of bytes [`encode_varint`] produces for `v`.
+pub fn varint_len(v: u64) -> usize {
+    (((64 - v.leading_zeros()).max(1) as usize) + 6) / 7
 }
 
 macro_rules! impl_wire_le {
@@ -113,6 +174,7 @@ impl Wire for bool {
             _ => Err(DecodeError {
                 what: "bool out of range",
                 remaining: buf.len(),
+                trailing: false,
             }),
         }
     }
@@ -156,6 +218,7 @@ impl Wire for String {
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError {
             what: "string not utf-8",
             remaining: buf.len(),
+            trailing: false,
         })
     }
 }
@@ -178,6 +241,7 @@ impl<T: Wire> Wire for Option<T> {
             _ => Err(DecodeError {
                 what: "option tag out of range",
                 remaining: buf.len(),
+                trailing: false,
             }),
         }
     }
@@ -261,7 +325,57 @@ mod tests {
     fn trailing_bytes_error() {
         let mut bytes = 1u32.to_bytes();
         bytes.push(0);
-        assert!(u32::from_bytes(&bytes).is_err());
+        let err = u32::from_bytes(&bytes).unwrap_err();
+        assert!(err.trailing);
+        assert_eq!(err.remaining, 1);
+        assert_eq!(err.what, std::any::type_name::<u32>(), "what names the decoded type");
+        let msg = err.to_string();
+        assert!(msg.contains("trailing"), "display mentions trailing bytes: {msg}");
+        assert!(msg.contains("u32"), "display names the type: {msg}");
+        // Truncated input is *not* a trailing error.
+        let err = u64::from_bytes(&1u64.to_bytes()[..3]).unwrap_err();
+        assert!(!err.trailing);
+    }
+
+    #[test]
+    fn varint_roundtrip_and_lengths() {
+        let mut buf = Vec::new();
+        let samples = [
+            0u64, 1, 99, 127, 128, 300, 16_383, 16_384, 1 << 35, u64::MAX,
+        ];
+        for &v in &samples {
+            let start = buf.len();
+            encode_varint(&mut buf, v);
+            assert_eq!(buf.len() - start, varint_len(v), "length of {v}");
+        }
+        let mut slice = buf.as_slice();
+        for &v in &samples {
+            assert_eq!(decode_varint(&mut slice).unwrap(), v);
+        }
+        assert!(slice.is_empty());
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn varint_never_longer_than_fixed_u64_below_2_pow_63() {
+        for shift in 0..63 {
+            assert!(varint_len(1u64 << shift) <= 9);
+        }
+        // Small counts — the common histogram case — shrink 8x.
+        assert_eq!(varint_len(0), 1);
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overlong_runs() {
+        let mut buf = Vec::new();
+        encode_varint(&mut buf, u64::MAX);
+        let mut short = &buf[..buf.len() - 1];
+        assert!(decode_varint(&mut short).is_err());
+        let overlong = [0x80u8; 11];
+        assert!(decode_varint(&mut &overlong[..]).is_err());
     }
 
     #[test]

@@ -89,6 +89,7 @@ impl Wire for Splitter {
             _ => Err(DecodeError {
                 what: "splitter tag out of range",
                 remaining: bytes.len(),
+                trailing: false,
             }),
         }
     }

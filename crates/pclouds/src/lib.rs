@@ -34,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod comm;
 pub mod config;
 pub mod problem;
 pub mod state;
 
 pub use builder::{load_dataset, load_dataset_stream, train, train_in_memory, RootInfo, TrainOutput};
-pub use config::{BoundaryEval, PcloudsConfig};
+pub use comm::{HistMsg, HistPayload};
+pub use config::{BoundaryEval, CommConfig, PcloudsConfig};
 pub use problem::{NodeMeta, OwnedSlice, PcloudsProblem};
 pub use state::{BuildMetrics, SharedBuild};

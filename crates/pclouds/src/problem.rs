@@ -37,8 +37,37 @@ use pdc_datagen::{Record, NUM_CATEGORICAL, NUM_NUMERIC};
 use pdc_dnc::{lpt_assign, Outcome, OocProblem, Task};
 use pdc_pario::{DiskFarm, Rec};
 
+use crate::comm::{HistMsg, HistPayload};
 use crate::config::{BoundaryEval, PcloudsConfig};
 use crate::state::SharedBuild;
+
+/// Move a numeric attribute's statistics out of `stats` for the
+/// contributing path of a combine, leaving a cheap placeholder — the
+/// statistics are consumed by the collective, so cloning them would only
+/// duplicate the allocation.
+fn take_numeric(stats: &mut NodeStats, a: usize) -> pdc_clouds::AttrIntervalStats {
+    std::mem::replace(
+        &mut stats.numeric[a],
+        pdc_clouds::AttrIntervalStats {
+            attr: a,
+            intervals: pdc_clouds::IntervalSet::from_boundaries(Vec::new()),
+            counts: Vec::new(),
+            ranges: Vec::new(),
+        },
+    )
+}
+
+/// Move a categorical attribute's count matrix out of `stats` (see
+/// [`take_numeric`]).
+fn take_categorical(stats: &mut NodeStats, a: usize) -> pdc_clouds::CountMatrix {
+    std::mem::replace(
+        &mut stats.categorical[a],
+        pdc_clouds::CountMatrix {
+            attr: a,
+            counts: Vec::new(),
+        },
+    )
+}
 
 /// Task description: the node's global class distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,15 +162,18 @@ impl PcloudsProblem<'_> {
     fn derive_boundary_candidates(
         &self,
         proc: &mut Proc,
-        stats: &NodeStats,
+        stats: &mut NodeStats,
         node_total: &ClassCounts,
     ) -> (Option<Candidate>, Vec<pdc_clouds::AttrIntervalStats>) {
+        if self.config.comm.batched_stats {
+            return self.derive_boundary_candidates_batched(proc, stats, node_total);
+        }
         let p = proc.nprocs();
         let mut local_best: Option<Candidate> = None;
         let mut owned = Vec::new();
         for a in 0..NUM_NUMERIC {
             let owner = a % p;
-            let combined = proc.reduce(owner, stats.numeric[a].clone(), |mut x, y| {
+            let combined = proc.reduce(owner, take_numeric(stats, a), |mut x, y| {
                 x.merge(&y);
                 x
             });
@@ -161,7 +193,7 @@ impl PcloudsProblem<'_> {
         }
         for a in 0..NUM_CATEGORICAL {
             let owner = (NUM_NUMERIC + a) % p;
-            let combined = proc.reduce(owner, stats.categorical[a].clone(), |mut x, y| {
+            let combined = proc.reduce(owner, take_categorical(stats, a), |mut x, y| {
                 x.merge(&y);
                 x
             });
@@ -171,6 +203,63 @@ impl PcloudsProblem<'_> {
                     matrix.best_split(node_total, self.params().cat_exhaustive_limit)
                 {
                     local_best = Candidate::better(local_best, cand);
+                }
+            }
+        }
+        (local_best, owned)
+    }
+
+    /// Batched variant of [`Self::derive_boundary_candidates`]
+    /// ([`crate::config::CommConfig::batched_stats`]): every attribute's
+    /// statistics travel in **one** reduce-scatter — destination `a % p`
+    /// (numeric) / `(A_num + a) % p` (categorical) gets one block with all
+    /// its attributes — instead of `A` separate combines. The collective's
+    /// algorithm (fan-in vs. recursive halving) is picked from the cost
+    /// model under [`pdc_cgm::CollectiveTuning`]; the size hint is derived
+    /// from the histogram *shapes*, which every rank agrees on, never from
+    /// a local (possibly sparse) encoding.
+    fn derive_boundary_candidates_batched(
+        &self,
+        proc: &mut Proc,
+        stats: &mut NodeStats,
+        node_total: &ClassCounts,
+    ) -> (Option<Candidate>, Vec<pdc_clouds::AttrIntervalStats>) {
+        let p = proc.nprocs();
+        let sparse = self.config.comm.sparse_histograms;
+        let mut blocks: Vec<Vec<HistMsg>> = vec![Vec::new(); p];
+        let mut hint = 0usize;
+        for a in 0..NUM_NUMERIC {
+            let msg = HistMsg::numeric(take_numeric(stats, a), sparse);
+            hint += msg.dense_hint();
+            blocks[a % p].push(msg);
+        }
+        for a in 0..NUM_CATEGORICAL {
+            let msg = HistMsg::categorical(take_categorical(stats, a), sparse);
+            hint += msg.dense_hint();
+            blocks[(NUM_NUMERIC + a) % p].push(msg);
+        }
+        let mine = proc.reduce_scatter_blocks(blocks, hint, HistMsg::merged);
+        let mut local_best: Option<Candidate> = None;
+        let mut owned = Vec::new();
+        for msg in mine {
+            match msg.payload {
+                HistPayload::Numeric(attr_stats) => {
+                    let nb = attr_stats.intervals.boundaries().len() as u64;
+                    let c = node_total.len() as u64;
+                    proc.charge(OpKind::HistUpdate, nb * c);
+                    proc.charge(OpKind::GiniEval, nb);
+                    if let Some(cand) = attr_stats.best_boundary(node_total) {
+                        local_best = Candidate::better(local_best, cand);
+                    }
+                    owned.push(attr_stats);
+                }
+                HistPayload::Categorical(matrix) => {
+                    proc.charge(OpKind::GiniEval, matrix.counts.len() as u64);
+                    if let Some(cand) =
+                        matrix.best_split(node_total, self.params().cat_exhaustive_limit)
+                    {
+                        local_best = Candidate::better(local_best, cand);
+                    }
                 }
             }
         }
@@ -204,7 +293,7 @@ impl PcloudsProblem<'_> {
     fn derive_boundary_candidates_interval_based(
         &self,
         proc: &mut Proc,
-        stats: &NodeStats,
+        stats: &mut NodeStats,
         node_total: &ClassCounts,
     ) -> (Option<Candidate>, Vec<OwnedSlice>) {
         type SliceWire = (u64, u64, Vec<Vec<u64>>, Vec<Option<(f64, f64)>>);
@@ -320,10 +409,12 @@ impl PcloudsProblem<'_> {
             }
         }
         // Categorical attributes keep the attribute-based combine (their
-        // count matrices are tiny).
+        // count matrices are tiny). The matrices are moved, not cloned:
+        // nothing reads `stats.categorical` after this point (the alive
+        // determination only needs the numeric interval sets).
         for a in 0..NUM_CATEGORICAL {
             let owner = (NUM_NUMERIC + a) % p;
-            let combined = proc.reduce(owner, stats.categorical[a].clone(), |mut x, y| {
+            let combined = proc.reduce(owner, take_categorical(stats, a), |mut x, y| {
                 x.merge(&y);
                 x
             });
@@ -717,7 +808,7 @@ impl OocProblem for PcloudsProblem<'_> {
             let mut st = self.build.rank(proc.rank());
             st.stats_cache.remove(&id)
         };
-        let local_stats = match cached {
+        let mut local_stats = match cached {
             Some(stats) => stats,
             None => {
                 let sample = {
@@ -743,7 +834,7 @@ impl OocProblem for PcloudsProblem<'_> {
         let (ss_candidate, alive) = match self.config.boundary_eval {
             BoundaryEval::AttributeBased => {
                 let (local_best, owned) =
-                    self.derive_boundary_candidates(proc, &local_stats, &node_total);
+                    self.derive_boundary_candidates(proc, &mut local_stats, &node_total);
                 let ss_candidate = self.elect_candidate(proc, local_best);
                 let gini_min = ss_candidate.as_ref().map_or(f64::INFINITY, |c| c.gini);
                 let alive =
@@ -755,8 +846,11 @@ impl OocProblem for PcloudsProblem<'_> {
                 (ss_candidate, alive)
             }
             BoundaryEval::IntervalBased => {
-                let (local_best, owned) = self
-                    .derive_boundary_candidates_interval_based(proc, &local_stats, &node_total);
+                let (local_best, owned) = self.derive_boundary_candidates_interval_based(
+                    proc,
+                    &mut local_stats,
+                    &node_total,
+                );
                 let ss_candidate = self.elect_candidate(proc, local_best);
                 let gini_min = ss_candidate.as_ref().map_or(f64::INFINITY, |c| c.gini);
                 let alive =
@@ -1025,56 +1119,113 @@ impl OocProblem for PcloudsProblem<'_> {
         }
         proc.span_end(stats_span);
 
-        // --- Phase 2a: ONE combine per attribute for the whole level.
+        // --- Phase 2a: ONE combine per attribute for the whole level —
+        // or, with batched stats on, ONE reduce-scatter for the whole
+        // level: blocks hold (attribute × task) entries in a deterministic
+        // attribute-major order, so every owner recovers exactly the
+        // statistics the per-attribute combines would have delivered.
         let derive_span = proc.span("pclouds.derive", &[("tasks", active.len() as i64)]);
         let mut my_candidates: Vec<(u64, Candidate)> = Vec::new();
         let mut owned_stats: Vec<(usize, pdc_clouds::AttrIntervalStats)> = Vec::new();
-        for a in 0..NUM_NUMERIC {
-            let owner = a % p;
-            let batch: Vec<pdc_clouds::AttrIntervalStats> = active
-                .iter()
-                .map(|&i| stats_of[&i].numeric[a].clone())
-                .collect();
-            let combined = proc.reduce(owner, batch, |mut xs, ys| {
-                for (x, y) in xs.iter_mut().zip(&ys) {
-                    x.merge(y);
-                }
-                xs
-            });
-            if let Some(combined) = combined {
-                for (k, attr_stats) in combined.into_iter().enumerate() {
-                    let i = active[k];
-                    let node_total = &tasks[i].meta.counts;
-                    let nb = attr_stats.intervals.boundaries().len() as u64;
-                    proc.charge(OpKind::HistUpdate, nb * node_total.len() as u64);
-                    proc.charge(OpKind::GiniEval, nb);
-                    if let Some(c) = attr_stats.best_boundary(node_total) {
-                        my_candidates.push((i as u64, c));
-                    }
-                    owned_stats.push((i, attr_stats));
+        if self.config.comm.batched_stats {
+            let sparse = self.config.comm.sparse_histograms;
+            let mut blocks: Vec<Vec<HistMsg>> = vec![Vec::new(); p];
+            let mut hint = 0usize;
+            for a in 0..NUM_NUMERIC {
+                for &i in &active {
+                    let s = stats_of.get_mut(&i).expect("active task has stats");
+                    let msg = HistMsg::numeric(take_numeric(s, a), sparse);
+                    hint += msg.dense_hint();
+                    blocks[a % p].push(msg);
                 }
             }
-        }
-        for a in 0..NUM_CATEGORICAL {
-            let owner = (NUM_NUMERIC + a) % p;
-            let batch: Vec<pdc_clouds::CountMatrix> = active
-                .iter()
-                .map(|&i| stats_of[&i].categorical[a].clone())
-                .collect();
-            let combined = proc.reduce(owner, batch, |mut xs, ys| {
-                for (x, y) in xs.iter_mut().zip(&ys) {
-                    x.merge(y);
+            for a in 0..NUM_CATEGORICAL {
+                for &i in &active {
+                    let s = stats_of.get_mut(&i).expect("active task has stats");
+                    let msg = HistMsg::categorical(take_categorical(s, a), sparse);
+                    hint += msg.dense_hint();
+                    blocks[(NUM_NUMERIC + a) % p].push(msg);
                 }
-                xs
-            });
-            if let Some(combined) = combined {
-                for (k, matrix) in combined.into_iter().enumerate() {
-                    let i = active[k];
-                    proc.charge(OpKind::GiniEval, matrix.counts.len() as u64);
-                    if let Some(c) = matrix
-                        .best_split(&tasks[i].meta.counts, self.params().cat_exhaustive_limit)
-                    {
-                        my_candidates.push((i as u64, c));
+            }
+            let mine = proc.reduce_scatter_blocks(blocks, hint, HistMsg::merged);
+            // This rank's block: its owned attributes in ascending global
+            // order, `active.len()` consecutive entries per attribute, in
+            // `active` order — mirror the assembly loops above.
+            for (k, msg) in mine.into_iter().enumerate() {
+                let i = active[k % active.len()];
+                match msg.payload {
+                    HistPayload::Numeric(attr_stats) => {
+                        let node_total = &tasks[i].meta.counts;
+                        let nb = attr_stats.intervals.boundaries().len() as u64;
+                        proc.charge(OpKind::HistUpdate, nb * node_total.len() as u64);
+                        proc.charge(OpKind::GiniEval, nb);
+                        if let Some(c) = attr_stats.best_boundary(node_total) {
+                            my_candidates.push((i as u64, c));
+                        }
+                        owned_stats.push((i, attr_stats));
+                    }
+                    HistPayload::Categorical(matrix) => {
+                        proc.charge(OpKind::GiniEval, matrix.counts.len() as u64);
+                        if let Some(c) = matrix
+                            .best_split(&tasks[i].meta.counts, self.params().cat_exhaustive_limit)
+                        {
+                            my_candidates.push((i as u64, c));
+                        }
+                    }
+                }
+            }
+        } else {
+            for a in 0..NUM_NUMERIC {
+                let owner = a % p;
+                let batch: Vec<pdc_clouds::AttrIntervalStats> = active
+                    .iter()
+                    .map(|&i| {
+                        take_numeric(stats_of.get_mut(&i).expect("active task has stats"), a)
+                    })
+                    .collect();
+                let combined = proc.reduce(owner, batch, |mut xs, ys| {
+                    for (x, y) in xs.iter_mut().zip(&ys) {
+                        x.merge(y);
+                    }
+                    xs
+                });
+                if let Some(combined) = combined {
+                    for (k, attr_stats) in combined.into_iter().enumerate() {
+                        let i = active[k];
+                        let node_total = &tasks[i].meta.counts;
+                        let nb = attr_stats.intervals.boundaries().len() as u64;
+                        proc.charge(OpKind::HistUpdate, nb * node_total.len() as u64);
+                        proc.charge(OpKind::GiniEval, nb);
+                        if let Some(c) = attr_stats.best_boundary(node_total) {
+                            my_candidates.push((i as u64, c));
+                        }
+                        owned_stats.push((i, attr_stats));
+                    }
+                }
+            }
+            for a in 0..NUM_CATEGORICAL {
+                let owner = (NUM_NUMERIC + a) % p;
+                let batch: Vec<pdc_clouds::CountMatrix> = active
+                    .iter()
+                    .map(|&i| {
+                        take_categorical(stats_of.get_mut(&i).expect("active task has stats"), a)
+                    })
+                    .collect();
+                let combined = proc.reduce(owner, batch, |mut xs, ys| {
+                    for (x, y) in xs.iter_mut().zip(&ys) {
+                        x.merge(y);
+                    }
+                    xs
+                });
+                if let Some(combined) = combined {
+                    for (k, matrix) in combined.into_iter().enumerate() {
+                        let i = active[k];
+                        proc.charge(OpKind::GiniEval, matrix.counts.len() as u64);
+                        if let Some(c) = matrix
+                            .best_split(&tasks[i].meta.counts, self.params().cat_exhaustive_limit)
+                        {
+                            my_candidates.push((i as u64, c));
+                        }
                     }
                 }
             }

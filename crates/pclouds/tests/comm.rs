@@ -1,0 +1,190 @@
+//! Communication-efficient split aggregation: the batched histogram
+//! reduce-scatter, the size-adaptive collective algorithms, and the sparse
+//! wire encoding must never change the computed tree — and with every
+//! switch off, must never move a bit of virtual time.
+
+use pdc_cgm::{Cluster, CollectiveTuning, MachineConfig};
+use pdc_clouds::CloudsParams;
+use pdc_datagen::{generate, GeneratorConfig};
+use pdc_dnc::Strategy;
+use pdc_pario::DiskFarm;
+use pdc_pclouds::{load_dataset, train, BoundaryEval, CommConfig, PcloudsConfig, TrainOutput};
+
+fn test_config() -> PcloudsConfig {
+    PcloudsConfig {
+        clouds: CloudsParams {
+            q_root: 200,
+            q_min: 10,
+            sample_size: 2_000,
+            ..CloudsParams::default()
+        },
+        memory_limit_bytes: 32 * 1024,
+        switch_threshold_intervals: 10,
+        ..PcloudsConfig::default()
+    }
+}
+
+fn build(
+    records: &[pdc_datagen::Record],
+    p: usize,
+    strategy: Strategy,
+    mutate: impl FnOnce(&mut PcloudsConfig),
+    adaptive: bool,
+) -> TrainOutput {
+    let mut cfg = test_config();
+    mutate(&mut cfg);
+    let farm = DiskFarm::in_memory(p);
+    let root = load_dataset(&farm, records, cfg.clouds.sample_size, cfg.clouds.sample_seed);
+    let mut machine = MachineConfig::default();
+    if adaptive {
+        machine.collectives = CollectiveTuning::adaptive();
+    }
+    let cluster = Cluster::with_config(p, machine);
+    train(&cluster, &farm, &root, &cfg, strategy)
+}
+
+/// Per-rank accounting identity: the five time counters plus idle cover the
+/// finish time exactly, whatever communication schedule ran.
+fn assert_counters_partition(out: &TrainOutput) {
+    for s in &out.run.stats {
+        let c = &s.counters;
+        let sum = c.compute_time
+            + c.comm_time
+            + c.io_time
+            + c.fault_time
+            + c.io_stall_time
+            + s.idle_time();
+        assert!(
+            (sum - s.finish_time).abs() < 1e-9 * s.finish_time.max(1.0),
+            "rank {}: counters {sum} != finish {}",
+            s.rank,
+            s.finish_time
+        );
+    }
+}
+
+#[test]
+fn batched_sparse_and_adaptive_produce_identical_trees() {
+    // p = 4 exercises the recursive-halving reduce-scatter under adaptive
+    // tuning; p = 5 (non-power-of-two) keeps the fan-in schedule; both must
+    // agree with the per-attribute baseline on every strategy that reaches
+    // the combine phases.
+    let records = generate(6_000, GeneratorConfig::default());
+    for p in [4usize, 5] {
+        for strategy in [Strategy::Mixed, Strategy::Concatenated] {
+            let baseline = build(&records, p, strategy, |_| {}, false);
+            for (comm, adaptive) in [
+                (CommConfig { batched_stats: true, sparse_histograms: false }, false),
+                (CommConfig { batched_stats: true, sparse_histograms: false }, true),
+                (CommConfig::efficient(), false),
+                (CommConfig::efficient(), true),
+            ] {
+                let out = build(&records, p, strategy, |c| c.comm = comm, adaptive);
+                assert_eq!(
+                    out.tree, baseline.tree,
+                    "p={p} {strategy:?} comm={comm:?} adaptive={adaptive}: tree changed"
+                );
+                assert_counters_partition(&out);
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_aggregation_strictly_reduces_comm_time() {
+    // Fusing A per-attribute combines into one reduce-scatter removes
+    // A − 1 message startups per node; the total communication time must
+    // strictly drop, and the adaptive + sparse ladder must drop further.
+    let records = generate(6_000, GeneratorConfig::default());
+    let p = 4;
+    let baseline = build(&records, p, Strategy::Mixed, |_| {}, false);
+    let batched = build(
+        &records,
+        p,
+        Strategy::Mixed,
+        |c| c.comm.batched_stats = true,
+        false,
+    );
+    let full = build(&records, p, Strategy::Mixed, |c| c.comm = CommConfig::efficient(), true);
+    let (t0, t1, t2) = (
+        baseline.run.total_counters().comm_time,
+        batched.run.total_counters().comm_time,
+        full.run.total_counters().comm_time,
+    );
+    assert!(t1 < t0, "batched comm {t1} !< baseline {t0}");
+    assert!(t2 < t1, "adaptive+sparse comm {t2} !< batched {t1}");
+    assert!(
+        batched.run.total_counters().messages_sent < baseline.run.total_counters().messages_sent,
+        "batching must send fewer messages"
+    );
+}
+
+#[test]
+fn disabled_comm_paths_are_bit_identical() {
+    // CommConfig::default() is all-off, and sparse_histograms without
+    // batched_stats has nothing to encode — both must reproduce the
+    // historical schedule bit for bit, counter for counter.
+    assert_eq!(
+        CommConfig::default(),
+        CommConfig { batched_stats: false, sparse_histograms: false }
+    );
+    let records = generate(4_000, GeneratorConfig::default());
+    let baseline = build(&records, 4, Strategy::Mixed, |_| {}, false);
+    let explicit = build(
+        &records,
+        4,
+        Strategy::Mixed,
+        |c| c.comm = CommConfig::default(),
+        false,
+    );
+    let sparse_only = build(
+        &records,
+        4,
+        Strategy::Mixed,
+        |c| c.comm.sparse_histograms = true,
+        false,
+    );
+    for other in [&explicit, &sparse_only] {
+        assert_eq!(other.tree, baseline.tree);
+        for (a, b) in baseline.run.stats.iter().zip(&other.run.stats) {
+            assert_eq!(
+                a.finish_time.to_bits(),
+                b.finish_time.to_bits(),
+                "rank {}: finish time moved",
+                a.rank
+            );
+            assert_eq!(a.counters, b.counters, "rank {}: counters moved", a.rank);
+        }
+    }
+}
+
+#[test]
+fn interval_based_replication_tolerates_batched_comm() {
+    // The interval-based approach keeps its all-to-all for numeric
+    // attributes (only the categorical combine batches differently), and
+    // its trees must stay identical to the attribute-based ones whatever
+    // the comm config.
+    let records = generate(6_000, GeneratorConfig::default());
+    let reference = build(&records, 4, Strategy::Mixed, |_| {}, false);
+    for (comm, adaptive) in [
+        (CommConfig::default(), false),
+        (CommConfig::efficient(), true),
+    ] {
+        let out = build(
+            &records,
+            4,
+            Strategy::Mixed,
+            |c| {
+                c.boundary_eval = BoundaryEval::IntervalBased;
+                c.comm = comm;
+            },
+            adaptive,
+        );
+        assert_eq!(
+            out.tree.render(),
+            reference.tree.render(),
+            "interval-based comm={comm:?} adaptive={adaptive}"
+        );
+        assert_counters_partition(&out);
+    }
+}
