@@ -84,27 +84,28 @@ impl Proc {
 
     /// One-to-all broadcast (binomial tree, any `p`). The root passes
     /// `Some(value)`; all other ranks pass `None` and receive the value.
+    /// The root's span records the payload size (`bytes`), so large
+    /// broadcasts — model deployment, configuration fan-out — are sized in
+    /// traces and metrics rollups.
     pub fn broadcast<T: Wire>(&mut self, root: usize, value: Option<T>) -> T {
-        let t = self.span("cgm.broadcast", &[("root", root as i64)]);
-        let out = self.broadcast_inner(root, value);
-        self.span_end(t);
-        out
-    }
-
-    fn broadcast_inner<T: Wire>(&mut self, root: usize, value: Option<T>) -> T {
         let p = self.nprocs();
-        let rel = self.rel(root);
-        if rel == 0 {
+        if self.rel(root) == 0 {
             let v = value.expect("broadcast root must supply a value");
-            if p == 1 {
-                return v;
-            }
             let bytes = v.to_bytes();
-            self.bcast_bytes_from_rel0(root, &bytes);
+            let t = self.span(
+                "cgm.broadcast",
+                &[("root", root as i64), ("bytes", bytes.len() as i64)],
+            );
+            if p > 1 {
+                self.bcast_bytes_from_rel0(root, &bytes);
+            }
+            self.span_end(t);
             return v;
         }
         assert!(value.is_none(), "non-root rank passed a broadcast value");
+        let t = self.span("cgm.broadcast", &[("root", root as i64)]);
         let bytes = self.bcast_recv_and_forward(root);
+        self.span_end(t);
         T::from_bytes(&bytes).expect("broadcast decode")
     }
 

@@ -7,6 +7,7 @@
 
 use crate::gini::{majority_class, ClassCounts};
 use crate::split::Splitter;
+use pdc_cgm::wire::{DecodeError, DecodeResult, Wire};
 use pdc_datagen::Record;
 
 /// Identifier of a node in the tree arena.
@@ -214,6 +215,62 @@ impl DecisionTree {
     }
 }
 
+impl Wire for Node {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Node::Leaf { class, counts } => {
+                buf.push(0);
+                class.encode(buf);
+                counts.encode(buf);
+            }
+            Node::Internal {
+                splitter,
+                left,
+                right,
+                counts,
+            } => {
+                buf.push(1);
+                splitter.encode(buf);
+                left.encode(buf);
+                right.encode(buf);
+                counts.encode(buf);
+            }
+        }
+    }
+
+    fn decode(bytes: &mut &[u8]) -> DecodeResult<Self> {
+        match u8::decode(bytes)? {
+            0 => Ok(Node::Leaf {
+                class: u8::decode(bytes)?,
+                counts: ClassCounts::decode(bytes)?,
+            }),
+            1 => Ok(Node::Internal {
+                splitter: Splitter::decode(bytes)?,
+                left: NodeId::decode(bytes)?,
+                right: NodeId::decode(bytes)?,
+                counts: ClassCounts::decode(bytes)?,
+            }),
+            _ => Err(DecodeError {
+                what: "tree node tag out of range",
+                remaining: bytes.len(),
+                trailing: false,
+            }),
+        }
+    }
+}
+
+impl Wire for DecisionTree {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.nodes.encode(buf);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> DecodeResult<Self> {
+        Ok(DecisionTree {
+            nodes: Vec::<Node>::decode(bytes)?,
+        })
+    }
+}
+
 /// Copy `node`, shifting its child ids by `offset`, except that a child id
 /// of 0 (the subtree root) is impossible here because roots are handled
 /// separately; `root_target` is where the subtree's root landed.
@@ -356,6 +413,32 @@ mod tests {
         assert!(s.contains("salary <= 5.000"), "{s}");
         assert!(s.contains("leaf class=0"));
         assert!(s.contains("leaf class=1"));
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_the_tree() {
+        let mut t = DecisionTree::single_leaf(vec![10, 10]);
+        let (l, _) = t.split_leaf(
+            0,
+            Splitter::Numeric {
+                attr: 2,
+                threshold: 50.0,
+            },
+            vec![10, 0],
+            vec![0, 10],
+        );
+        t.split_leaf(
+            l,
+            Splitter::Categorical {
+                attr: 0,
+                left_values: 0b101,
+            },
+            vec![6, 0],
+            vec![4, 0],
+        );
+        let decoded = DecisionTree::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(decoded, t);
+        assert!(DecisionTree::from_bytes(&[1, 7]).is_err(), "bad node tag");
     }
 
     #[test]

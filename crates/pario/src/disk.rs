@@ -415,6 +415,19 @@ impl<R: Rec> ChunkedReader<R> {
     pub fn position(&self) -> usize {
         self.cursor
     }
+
+    /// Warm the stream: issue a speculative read for the *first* chunk
+    /// before the consuming loop starts, so even the opening request rides
+    /// the device asynchronously (steady-state streaming, e.g. a serving
+    /// loop, otherwise pays one cold demand read up front). A no-op — and
+    /// bit-identical — without a prefetching engine.
+    pub fn prime(&mut self, disk: &mut NodeDisk, proc: &mut Proc) {
+        let total = disk.num_records(&self.file);
+        let count = self.chunk_records.min(total.saturating_sub(self.cursor));
+        if count > 0 {
+            disk.prefetch_range(proc, &self.file, self.cursor, count);
+        }
+    }
 }
 
 /// Buffered writer: batches appended records into `chunk_records`-sized

@@ -1,0 +1,316 @@
+//! Flat serving layout: the tree compiled into one contiguous,
+//! breadth-first node array with `u32` child indices.
+//!
+//! This is the QuickScorer-era observation applied to a single tree: at
+//! serving time the training arena's enum nodes, heap-allocated class
+//! counts and pointer-sized ids are pure overhead. Compilation strips a
+//! node down to 16 bytes — child index, packed attribute id, leaf class and
+//! the 8-byte test payload (threshold bits or category bitmask) — and lays
+//! siblings out adjacently in breadth-first order, so the hot top levels of
+//! the tree share cache lines and a child access is an indexed load into
+//! one slice instead of a dependent pointer chase.
+
+use pdc_cgm::wire::{DecodeResult, Wire};
+use pdc_cgm::{OpKind, Proc};
+use pdc_clouds::{DecisionTree, Node, Splitter};
+use pdc_datagen::{Record, NUM_NUMERIC};
+
+use crate::predictor::Predictor;
+
+/// One compiled node: 16 bytes, no heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatNode {
+    /// Breadth-first index of the left child; the right child is
+    /// `first_child + 1`. `0` marks a leaf (the root is never a child).
+    pub first_child: u32,
+    /// Attribute id: `< NUM_NUMERIC` selects a numeric attribute,
+    /// otherwise `attr - NUM_NUMERIC` selects a categorical one.
+    pub attr: u16,
+    /// Predicted class (meaningful on leaves).
+    pub class: u8,
+    /// Test payload: numeric threshold as `f64` bits, or the categorical
+    /// left-branch bitmask.
+    pub test: u64,
+}
+
+impl FlatNode {
+    fn leaf(class: u8) -> Self {
+        FlatNode {
+            first_child: 0,
+            attr: 0,
+            class,
+            test: 0,
+        }
+    }
+}
+
+impl Wire for FlatNode {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.first_child.encode(buf);
+        self.attr.encode(buf);
+        self.class.encode(buf);
+        self.test.encode(buf);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> DecodeResult<Self> {
+        Ok(FlatNode {
+            first_child: u32::decode(bytes)?,
+            attr: u16::decode(bytes)?,
+            class: u8::decode(bytes)?,
+            test: u64::decode(bytes)?,
+        })
+    }
+}
+
+/// A tree compiled into a breadth-first [`FlatNode`] array.
+///
+/// Predictions are bit-identical to the source [`DecisionTree`]: the
+/// compiler preserves every threshold's `f64` bits and every categorical
+/// bitmask, and the traversal applies the exact tests of
+/// [`Splitter::goes_left`].
+///
+/// ```
+/// use pdc_clouds::{DecisionTree, Splitter};
+/// use pdc_datagen::{generate, GeneratorConfig};
+/// use pdc_serve::{FlatTree, Predictor};
+///
+/// let mut tree = DecisionTree::single_leaf(vec![8, 8]);
+/// let (left, _) = tree.split_leaf(
+///     0,
+///     Splitter::Numeric { attr: 2, threshold: 40.0 },
+///     vec![8, 0],
+///     vec![0, 8],
+/// );
+/// tree.split_leaf(
+///     left,
+///     Splitter::Categorical { attr: 0, left_values: 0b110 },
+///     vec![4, 0],
+///     vec![4, 0],
+/// );
+/// let flat = FlatTree::compile(&tree);
+/// assert_eq!(flat.num_nodes(), 5); // breadth-first, reachable nodes only
+/// for r in generate(100, GeneratorConfig::default()) {
+///     assert_eq!(flat.predict(&r), tree.predict(&r));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatTree {
+    nodes: Vec<FlatNode>,
+}
+
+/// Pack a [`Splitter`] into the `(attr, test)` pair of a [`FlatNode`].
+fn pack_splitter(s: &Splitter) -> (u16, u64) {
+    match *s {
+        Splitter::Numeric { attr, threshold } => (attr as u16, threshold.to_bits()),
+        Splitter::Categorical { attr, left_values } => {
+            ((NUM_NUMERIC + attr) as u16, left_values)
+        }
+    }
+}
+
+impl FlatTree {
+    /// Compile a built tree: breadth-first walk of the *reachable* nodes
+    /// (pruning and grafting can orphan arena entries; those are dropped),
+    /// siblings adjacent, children addressed by `u32` index.
+    pub fn compile(tree: &DecisionTree) -> FlatTree {
+        let mut order = vec![tree.root()];
+        let mut nodes: Vec<FlatNode> = Vec::new();
+        let mut head = 0;
+        while head < order.len() {
+            let id = order[head];
+            head += 1;
+            match &tree.nodes[id] {
+                Node::Leaf { class, .. } => nodes.push(FlatNode::leaf(*class)),
+                Node::Internal {
+                    splitter,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let first_child =
+                        u32::try_from(order.len()).expect("tree exceeds u32 node indices");
+                    order.push(*left);
+                    order.push(*right);
+                    let (attr, test) = pack_splitter(splitter);
+                    nodes.push(FlatNode {
+                        first_child,
+                        attr,
+                        class: 0,
+                        test,
+                    });
+                }
+            }
+        }
+        FlatTree { nodes }
+    }
+
+    /// The compiled node array (breadth-first; index 0 is the root).
+    pub fn nodes(&self) -> &[FlatNode] {
+        &self.nodes
+    }
+
+    /// Split tests on the root-to-leaf path of `r`.
+    fn path_len(&self, r: &Record) -> u64 {
+        let mut i = 0usize;
+        let mut steps = 0;
+        loop {
+            let n = &self.nodes[i];
+            if n.first_child == 0 {
+                return steps;
+            }
+            steps += 1;
+            i = n.first_child as usize + !test_goes_left(n, r) as usize;
+        }
+    }
+}
+
+/// Apply a flat node's test — exactly [`Splitter::goes_left`] on the packed
+/// representation.
+#[inline]
+fn test_goes_left(n: &FlatNode, r: &Record) -> bool {
+    if (n.attr as usize) < NUM_NUMERIC {
+        r.num(n.attr as usize) <= f64::from_bits(n.test)
+    } else {
+        n.test & (1u64 << r.cat(n.attr as usize - NUM_NUMERIC)) != 0
+    }
+}
+
+impl Predictor for FlatTree {
+    fn layout_name(&self) -> &'static str {
+        "flat"
+    }
+
+    fn predict(&self, r: &Record) -> u8 {
+        let mut i = 0usize;
+        loop {
+            let n = &self.nodes[i];
+            if n.first_child == 0 {
+                return n.class;
+            }
+            i = n.first_child as usize + !test_goes_left(n, r) as usize;
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<FlatNode>()
+    }
+
+    fn score_batch(&self, proc: &mut Proc, records: &[Record], out: &mut Vec<u8>) {
+        let mut steps = 0u64;
+        for r in records {
+            steps += self.path_len(r);
+            out.push(self.predict(r));
+        }
+        // Same split tests and branches as the pointer tree, but no
+        // dependent-load charge, against a far smaller working set.
+        let ws = self.footprint_bytes();
+        proc.charge_ws(OpKind::SplitTest, steps, ws);
+        proc.charge_ws(OpKind::Compare, steps, ws);
+    }
+}
+
+impl Wire for FlatTree {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.nodes.encode(buf);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> DecodeResult<Self> {
+        Ok(FlatTree {
+            nodes: Vec::<FlatNode>::decode(bytes)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_datagen::{generate, GeneratorConfig};
+
+    fn mixed_tree() -> DecisionTree {
+        let mut t = DecisionTree::single_leaf(vec![10, 10]);
+        let (l, r) = t.split_leaf(
+            0,
+            Splitter::Numeric {
+                attr: 0,
+                threshold: 70_000.0,
+            },
+            vec![10, 0],
+            vec![0, 10],
+        );
+        t.split_leaf(
+            l,
+            Splitter::Categorical {
+                attr: 2,
+                left_values: 0b1_0101,
+            },
+            vec![5, 0],
+            vec![5, 0],
+        );
+        t.split_leaf(
+            r,
+            Splitter::Numeric {
+                attr: 2,
+                threshold: 45.0,
+            },
+            vec![0, 5],
+            vec![0, 5],
+        );
+        t
+    }
+
+    #[test]
+    fn node_is_sixteen_bytes() {
+        assert_eq!(std::mem::size_of::<FlatNode>(), 16);
+    }
+
+    #[test]
+    fn compile_is_breadth_first() {
+        let flat = FlatTree::compile(&mixed_tree());
+        assert_eq!(flat.num_nodes(), 7);
+        // Root's children are adjacent right after it.
+        assert_eq!(flat.nodes()[0].first_child, 1);
+        // Level-2 internals hand out the next sibling pairs in order.
+        assert_eq!(flat.nodes()[1].first_child, 3);
+        assert_eq!(flat.nodes()[2].first_child, 5);
+        for leaf in &flat.nodes()[3..] {
+            assert_eq!(leaf.first_child, 0);
+        }
+    }
+
+    #[test]
+    fn predictions_match_the_source_tree() {
+        let tree = mixed_tree();
+        let flat = FlatTree::compile(&tree);
+        for r in generate(500, GeneratorConfig::default()) {
+            assert_eq!(flat.predict(&r), tree.predict(&r));
+        }
+    }
+
+    #[test]
+    fn single_leaf_compiles_and_predicts() {
+        let tree = DecisionTree::single_leaf(vec![0, 3]);
+        let flat = FlatTree::compile(&tree);
+        assert_eq!(flat.num_nodes(), 1);
+        let r = generate(1, GeneratorConfig::default())[0];
+        assert_eq!(flat.predict(&r), 1);
+        assert_eq!(flat.path_len(&r), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let flat = FlatTree::compile(&mixed_tree());
+        let bytes = flat.to_bytes();
+        assert_eq!(FlatTree::from_bytes(&bytes).unwrap(), flat);
+    }
+
+    #[test]
+    fn footprint_is_compact() {
+        let tree = mixed_tree();
+        let flat = FlatTree::compile(&tree);
+        assert_eq!(flat.footprint_bytes(), 7 * 16);
+    }
+}

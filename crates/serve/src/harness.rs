@@ -1,0 +1,360 @@
+//! The batch/streaming scoring harness on the simulated machine.
+//!
+//! A serving run has three phases, mirroring a production deployment:
+//!
+//! 1. **Deploy** — rank 0 holds the compiled model and broadcasts it to
+//!    every rank over the `cgm` collectives (span `serve.deploy`; the
+//!    underlying `cgm.broadcast` span records the payload size, so model
+//!    distribution shows up in traces as a first-class communication step).
+//! 2. **Stream** — each rank streams its request shard from its own disk
+//!    in `batch_records`-sized chunks through the ordinary
+//!    [`pdc_pario`] read path; with a prefetching engine attached to the
+//!    farm, the next batch's transfer rides under the current batch's
+//!    scoring compute.
+//! 3. **Score** — each batch is classified through the [`Predictor`]
+//!    trait (span `serve.score`), charging the layout's traversal cost.
+//!
+//! Per batch the harness records the **virtual-clock latency** from the
+//! start of the batch read to the last prediction; the report aggregates
+//! sustained records/sec and p50/p99/p999 tail latency over all batches of
+//! all ranks.
+
+use pdc_cgm::{Cluster, ProcStats, Wire};
+use pdc_clouds::DecisionTree;
+use pdc_datagen::{GeneratorConfig, Record, RecordStream};
+use pdc_pario::DiskFarm;
+
+use crate::model::{CompiledModel, Layout};
+use crate::predictor::Predictor;
+
+/// Name of the per-rank request shard file on each disk.
+pub const REQUESTS_FILE: &str = "serve_requests";
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Which compiled layout to deploy.
+    pub layout: Layout,
+    /// Records per scoring batch (also the streaming chunk size).
+    pub batch_records: usize,
+}
+
+/// Latency percentiles over every batch of every rank, in virtual seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of batches observed.
+    pub batches: usize,
+    /// Median batch latency.
+    pub p50: f64,
+    /// 99th-percentile batch latency.
+    pub p99: f64,
+    /// 99.9th-percentile batch latency.
+    pub p999: f64,
+    /// Worst batch latency.
+    pub max: f64,
+}
+
+/// Nearest-rank percentiles of a set of batch latencies.
+pub fn latency_summary(mut latencies: Vec<f64>) -> LatencySummary {
+    latencies.sort_by(f64::total_cmp);
+    let pick = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = (q * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    LatencySummary {
+        batches: latencies.len(),
+        p50: pick(0.50),
+        p99: pick(0.99),
+        p999: pick(0.999),
+        max: latencies.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// Everything a serving run produces.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The deployed layout.
+    pub layout: Layout,
+    /// Batch size used.
+    pub batch_records: usize,
+    /// Total requests scored across all ranks.
+    pub records: u64,
+    /// Wire size of the broadcast model, bytes.
+    pub model_bytes: usize,
+    /// Nodes in the compiled model.
+    pub model_nodes: usize,
+    /// Virtual time until the slowest rank finished deployment.
+    pub deploy_seconds: f64,
+    /// Virtual makespan of the whole run (deploy + stream + score).
+    pub makespan: f64,
+    /// Sustained throughput: `records / makespan`.
+    pub throughput_rps: f64,
+    /// Batch latency percentiles.
+    pub latency: LatencySummary,
+    /// Per-rank predictions, one class byte per request, in shard order —
+    /// the bit-identity contract across layouts is checked on these.
+    pub predictions: Vec<Vec<u8>>,
+    /// Per-rank virtual-clock statistics of the run.
+    pub stats: Vec<ProcStats>,
+}
+
+/// Stage `total` generated request records onto the farm as contiguous
+/// per-rank shards (file [`REQUESTS_FILE`] on each disk), uncharged — like
+/// the training data, requests are assumed resident before the run starts.
+/// Returns the number of records staged on each rank.
+pub fn stage_requests(farm: &DiskFarm, total: u64, config: GeneratorConfig) -> Vec<u64> {
+    let p = farm.nprocs();
+    let mut stream = RecordStream::new(config);
+    let mut shares = Vec::with_capacity(p);
+    for rank in 0..p {
+        let share = total / p as u64 + u64::from((rank as u64) < total % p as u64);
+        let mut disk = farm.lock(rank);
+        let file = disk.create::<Record>(REQUESTS_FILE);
+        let mut left = share as usize;
+        let mut buf = Vec::with_capacity(left.min(8_192));
+        while left > 0 {
+            let take = left.min(8_192);
+            buf.clear();
+            buf.extend(stream.by_ref().take(take));
+            disk.append_uncharged(&file, &buf);
+            left -= take;
+        }
+        shares.push(share);
+    }
+    shares
+}
+
+/// Run one serving experiment: compile `tree` into `cfg.layout`, broadcast
+/// it from rank 0, stream each rank's [`REQUESTS_FILE`] shard in
+/// `cfg.batch_records`-sized batches, score every record, and aggregate
+/// throughput and tail latency. Compilation itself happens offline (before
+/// the simulated run); the run charges deployment and scoring.
+///
+/// Predictions are bit-identical across layouts by construction; callers
+/// that sweep layouts should still assert it (see
+/// [`crate::model::assert_equivalent`] and the `fig_serving` harness).
+///
+/// ```
+/// use pdc_cgm::Cluster;
+/// use pdc_clouds::{DecisionTree, Splitter};
+/// use pdc_datagen::GeneratorConfig;
+/// use pdc_pario::DiskFarm;
+/// use pdc_serve::{serve, stage_requests, Layout, ServeConfig};
+///
+/// let mut tree = DecisionTree::single_leaf(vec![6, 4]);
+/// tree.split_leaf(
+///     0,
+///     Splitter::Numeric { attr: 2, threshold: 45.0 },
+///     vec![6, 0],
+///     vec![0, 4],
+/// );
+/// let farm = DiskFarm::in_memory(2);
+/// stage_requests(&farm, 1_000, GeneratorConfig::default());
+/// let report = serve(
+///     &Cluster::new(2),
+///     &farm,
+///     &tree,
+///     &ServeConfig { layout: Layout::Flat, batch_records: 128 },
+/// );
+/// assert_eq!(report.records, 1_000);
+/// assert!(report.throughput_rps > 0.0);
+/// assert_eq!(report.latency.batches, 8); // 4 batches per rank
+/// ```
+pub fn serve(
+    cluster: &Cluster,
+    farm: &DiskFarm,
+    tree: &DecisionTree,
+    cfg: &ServeConfig,
+) -> ServeReport {
+    assert!(cfg.batch_records > 0, "batch_records must be positive");
+    assert_eq!(
+        cluster.nprocs(),
+        farm.nprocs(),
+        "cluster and farm must have the same number of ranks"
+    );
+    let model = cfg.layout.compile(tree);
+    let model_bytes = model.to_bytes().len();
+    let model_nodes = model.num_nodes();
+    let out = cluster.run(|proc| {
+        // Deploy: rank 0 is the model owner; everyone receives a copy.
+        let model: CompiledModel = proc.in_span("serve.deploy", &[], |proc| {
+            let seed = (proc.rank() == 0).then(|| model.clone());
+            proc.broadcast(0, seed)
+        });
+        let deploy_done = proc.clock();
+
+        // Stream + score the local shard.
+        let mut disk = farm.lock(proc.rank());
+        let file = disk.open::<Record>(REQUESTS_FILE);
+        let total = disk.num_records(&file);
+        let mut reader = disk.reader(&file, cfg.batch_records);
+        reader.prime(&mut disk, proc);
+        let mut preds = Vec::with_capacity(total);
+        let mut latencies = Vec::new();
+        loop {
+            let start = proc.clock();
+            let Some(batch) = reader.next_chunk(&mut disk, proc) else {
+                break;
+            };
+            proc.in_span("serve.score", &[("records", batch.len() as i64)], |proc| {
+                model.score_batch(proc, &batch, &mut preds);
+            });
+            latencies.push(proc.clock() - start);
+        }
+        disk.sync_engine(proc);
+        drop(disk);
+        proc.barrier();
+        (preds, latencies, deploy_done)
+    });
+
+    let makespan = out.makespan();
+    let mut predictions = Vec::with_capacity(out.results.len());
+    let mut all_latencies = Vec::new();
+    let mut deploy_seconds = 0.0f64;
+    let mut records = 0u64;
+    for (preds, lats, deploy) in out.results {
+        records += preds.len() as u64;
+        predictions.push(preds);
+        all_latencies.extend(lats);
+        deploy_seconds = deploy_seconds.max(deploy);
+    }
+    ServeReport {
+        layout: cfg.layout,
+        batch_records: cfg.batch_records,
+        records,
+        model_bytes,
+        model_nodes,
+        deploy_seconds,
+        makespan,
+        throughput_rps: if makespan > 0.0 {
+            records as f64 / makespan
+        } else {
+            0.0
+        },
+        latency: latency_summary(all_latencies),
+        predictions,
+        stats: out.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ALL_LAYOUTS;
+    use pdc_clouds::Splitter;
+
+    fn tree() -> DecisionTree {
+        let mut t = DecisionTree::single_leaf(vec![5, 5]);
+        let (l, _) = t.split_leaf(
+            0,
+            Splitter::Numeric {
+                attr: 0,
+                threshold: 80_000.0,
+            },
+            vec![5, 0],
+            vec![0, 5],
+        );
+        t.split_leaf(
+            l,
+            Splitter::Categorical {
+                attr: 0,
+                left_values: 0b0_0011,
+            },
+            vec![2, 1],
+            vec![1, 2],
+        );
+        t
+    }
+
+    #[test]
+    fn latency_summary_nearest_rank() {
+        let s = latency_summary((1..=1000).map(|i| i as f64).collect());
+        assert_eq!(s.batches, 1000);
+        assert_eq!(s.p50, 500.0);
+        assert_eq!(s.p99, 990.0);
+        assert_eq!(s.p999, 999.0);
+        assert_eq!(s.max, 1000.0);
+        let empty = latency_summary(Vec::new());
+        assert_eq!(empty.batches, 0);
+        assert_eq!(empty.max, 0.0);
+    }
+
+    #[test]
+    fn stage_requests_shards_evenly() {
+        let farm = DiskFarm::in_memory(3);
+        let shares = stage_requests(&farm, 1_001, GeneratorConfig::default());
+        assert_eq!(shares, vec![334, 334, 333]);
+        let total: usize = (0..3)
+            .map(|r| {
+                let disk = farm.lock(r);
+                let f = disk.open::<Record>(REQUESTS_FILE);
+                disk.num_records(&f)
+            })
+            .sum();
+        assert_eq!(total, 1_001);
+    }
+
+    #[test]
+    fn serve_scores_every_record_in_every_layout() {
+        let tree = tree();
+        let cluster = Cluster::new(2);
+        let mut reference: Option<Vec<Vec<u8>>> = None;
+        for layout in ALL_LAYOUTS {
+            let farm = DiskFarm::in_memory(2);
+            stage_requests(&farm, 600, GeneratorConfig::default());
+            let report = serve(
+                &cluster,
+                &farm,
+                &tree,
+                &ServeConfig {
+                    layout,
+                    batch_records: 100,
+                },
+            );
+            assert_eq!(report.records, 600);
+            assert_eq!(report.latency.batches, 6);
+            assert!(report.deploy_seconds > 0.0);
+            assert!(report.makespan > report.deploy_seconds);
+            assert!(report.latency.p50 <= report.latency.p999);
+            match &reference {
+                None => reference = Some(report.predictions.clone()),
+                Some(reference) => assert_eq!(
+                    &report.predictions, reference,
+                    "layout {} predictions must be byte-identical",
+                    layout.name()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn flat_serves_faster_than_pointer() {
+        let tree = tree();
+        let cluster = Cluster::new(2);
+        let run = |layout| {
+            let farm = DiskFarm::in_memory(2);
+            stage_requests(&farm, 2_000, GeneratorConfig::default());
+            serve(
+                &cluster,
+                &farm,
+                &tree,
+                &ServeConfig {
+                    layout,
+                    batch_records: 250,
+                },
+            )
+        };
+        let pointer = run(Layout::Pointer);
+        let flat = run(Layout::Flat);
+        assert!(
+            flat.throughput_rps > pointer.throughput_rps,
+            "flat {} rps must beat pointer {} rps",
+            flat.throughput_rps,
+            pointer.throughput_rps
+        );
+        assert!(flat.model_bytes < pointer.model_bytes);
+    }
+}

@@ -1,0 +1,212 @@
+//! Layout selection and the broadcastable [`CompiledModel`].
+
+use pdc_cgm::wire::{DecodeError, DecodeResult, Wire};
+use pdc_cgm::Proc;
+use pdc_clouds::DecisionTree;
+use pdc_datagen::Record;
+
+use crate::flat::FlatTree;
+use crate::predicated::PredicatedTree;
+use crate::predictor::{PointerPredictor, Predictor};
+
+/// The serving layouts, in ascending order of compilation effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Serve from the training-time arena (baseline).
+    Pointer,
+    /// Breadth-first contiguous node array, `u32` children.
+    Flat,
+    /// Branch-free padded traversal over the flat array.
+    Predicated,
+}
+
+/// Every layout, for sweeps.
+pub const ALL_LAYOUTS: [Layout; 3] = [Layout::Pointer, Layout::Flat, Layout::Predicated];
+
+impl Layout {
+    /// Short name used in span attributes, CSV columns and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Pointer => "pointer",
+            Layout::Flat => "flat",
+            Layout::Predicated => "predicated",
+        }
+    }
+
+    /// Compile a built tree into this layout.
+    pub fn compile(self, tree: &DecisionTree) -> CompiledModel {
+        match self {
+            Layout::Pointer => CompiledModel::Pointer(PointerPredictor::new(tree.clone())),
+            Layout::Flat => CompiledModel::Flat(FlatTree::compile(tree)),
+            Layout::Predicated => CompiledModel::Predicated(PredicatedTree::compile(tree)),
+        }
+    }
+}
+
+/// A compiled model in one of the serving layouts.
+///
+/// The enum (rather than a trait object) keeps the model [`Wire`]-encodable
+/// so the harness can broadcast it to every rank with the ordinary `cgm`
+/// collectives, and makes "every layout implements [`Predictor`]" a
+/// compile-time fact: adding a variant without the delegation below is a
+/// build error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledModel {
+    /// The pointer-tree baseline.
+    Pointer(PointerPredictor),
+    /// The flat array.
+    Flat(FlatTree),
+    /// The predicated flat array.
+    Predicated(PredicatedTree),
+}
+
+impl CompiledModel {
+    /// Which layout this model is compiled into.
+    pub fn layout(&self) -> Layout {
+        match self {
+            CompiledModel::Pointer(_) => Layout::Pointer,
+            CompiledModel::Flat(_) => Layout::Flat,
+            CompiledModel::Predicated(_) => Layout::Predicated,
+        }
+    }
+
+    fn inner(&self) -> &dyn Predictor {
+        match self {
+            CompiledModel::Pointer(p) => p,
+            CompiledModel::Flat(f) => f,
+            CompiledModel::Predicated(p) => p,
+        }
+    }
+}
+
+impl Predictor for CompiledModel {
+    fn layout_name(&self) -> &'static str {
+        self.inner().layout_name()
+    }
+
+    fn predict(&self, r: &Record) -> u8 {
+        self.inner().predict(r)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner().num_nodes()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.inner().footprint_bytes()
+    }
+
+    fn score_batch(&self, proc: &mut Proc, records: &[Record], out: &mut Vec<u8>) {
+        self.inner().score_batch(proc, records, out)
+    }
+}
+
+impl Wire for CompiledModel {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CompiledModel::Pointer(p) => {
+                buf.push(0);
+                p.tree().encode(buf);
+            }
+            CompiledModel::Flat(f) => {
+                buf.push(1);
+                f.encode(buf);
+            }
+            CompiledModel::Predicated(p) => {
+                buf.push(2);
+                p.encode(buf);
+            }
+        }
+    }
+
+    fn decode(bytes: &mut &[u8]) -> DecodeResult<Self> {
+        match u8::decode(bytes)? {
+            0 => Ok(CompiledModel::Pointer(PointerPredictor::new(
+                DecisionTree::decode(bytes)?,
+            ))),
+            1 => Ok(CompiledModel::Flat(FlatTree::decode(bytes)?)),
+            2 => Ok(CompiledModel::Predicated(PredicatedTree::decode(bytes)?)),
+            _ => Err(DecodeError {
+                what: "compiled-model layout tag out of range",
+                remaining: bytes.len(),
+                trailing: false,
+            }),
+        }
+    }
+}
+
+/// Assert that every layout predicts **byte-identically** to the source
+/// tree on every record of `records`. Panics with the offending layout and
+/// record index otherwise. This is the equivalence contract the parity
+/// tests and the `fig_serving` harness both lean on.
+pub fn assert_equivalent(tree: &DecisionTree, records: &[Record]) {
+    let reference: Vec<u8> = records.iter().map(|r| tree.predict(r)).collect();
+    for layout in ALL_LAYOUTS {
+        let model = layout.compile(tree);
+        for (i, r) in records.iter().enumerate() {
+            let got = model.predict(r);
+            assert_eq!(
+                got, reference[i],
+                "layout {} diverges from the pointer tree on record {i}",
+                layout.name()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_clouds::Splitter;
+    use pdc_datagen::{generate, GeneratorConfig};
+
+    fn tree() -> DecisionTree {
+        let mut t = DecisionTree::single_leaf(vec![7, 7]);
+        t.split_leaf(
+            0,
+            Splitter::Numeric {
+                attr: 5,
+                threshold: 250_000.0,
+            },
+            vec![7, 0],
+            vec![0, 7],
+        );
+        t
+    }
+
+    #[test]
+    fn every_layout_roundtrips_on_the_wire() {
+        let tree = tree();
+        let records = generate(100, GeneratorConfig::default());
+        for layout in ALL_LAYOUTS {
+            let model = layout.compile(&tree);
+            assert_eq!(model.layout(), layout);
+            assert_eq!(model.layout_name(), layout.name());
+            let decoded = CompiledModel::from_bytes(&model.to_bytes()).unwrap();
+            assert_eq!(decoded, model);
+            for r in &records {
+                assert_eq!(decoded.predict(r), tree.predict(r));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_a_decode_error() {
+        assert!(CompiledModel::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn assert_equivalent_accepts_the_layouts() {
+        let records = generate(200, GeneratorConfig::default());
+        assert_equivalent(&tree(), &records);
+    }
+
+    #[test]
+    fn footprints_shrink_from_pointer_to_flat() {
+        let tree = tree();
+        let pointer = Layout::Pointer.compile(&tree);
+        let flat = Layout::Flat.compile(&tree);
+        assert!(flat.footprint_bytes() < pointer.footprint_bytes());
+        assert_eq!(pointer.num_nodes(), flat.num_nodes());
+    }
+}

@@ -1,0 +1,235 @@
+//! Prediction-parity property tests: every compiled serving layout must be
+//! **bit-identical** to the pointer tree on every record — across trees
+//! trained on all ten SLIQ generator functions, across randomly grown
+//! trees with random records, and across adversarial edge shapes
+//! (single-leaf trees, maximum-depth chains, categorical-only splits).
+
+use pdc_clouds::{CloudsParams, DecisionTree, Splitter};
+use pdc_datagen::record::{CATEGORICAL_CARDINALITY, NUM_CATEGORICAL, NUM_NUMERIC};
+use pdc_datagen::{generate, ClassifyFn, GeneratorConfig, Record, ALL_FUNCTIONS};
+use pdc_pclouds::{train_in_memory, PcloudsConfig};
+use pdc_serve::{assert_equivalent, Layout, Predictor, ALL_LAYOUTS};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Check all layouts against the pointer tree record by record, with a
+/// diagnostic that names the layout and record on divergence.
+fn check_parity(tree: &DecisionTree, records: &[Record]) {
+    assert_equivalent(tree, records);
+    for layout in ALL_LAYOUTS {
+        let model = layout.compile(tree);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(
+                model.predict(r),
+                tree.predict(r),
+                "layout {} diverges from the tree on record {i}: {r:?}",
+                layout.name()
+            );
+        }
+    }
+}
+
+/// A small-but-real training run: reduced interval counts and sample so
+/// each function trains in well under a second.
+fn small_config() -> PcloudsConfig {
+    let mut config = PcloudsConfig::default();
+    config.clouds = CloudsParams {
+        q_root: 200,
+        q_min: 10,
+        sample_size: 400,
+        ..CloudsParams::default()
+    };
+    config
+}
+
+#[test]
+fn trained_trees_agree_on_all_sliq_functions() {
+    for function in ALL_FUNCTIONS {
+        let gen = GeneratorConfig {
+            function,
+            noise: 0.05,
+            seed: 0xF00D ^ function.index() as u64,
+        };
+        let train = generate(2_000, gen);
+        let out = train_in_memory(&train, 2, &small_config());
+        // Held-out records from a different seed, plus the training set
+        // itself, so both seen and unseen regions of the space are covered.
+        let test = generate(1_000, GeneratorConfig { seed: gen.seed ^ 0xBEEF, ..gen });
+        check_parity(&out.tree, &train);
+        check_parity(&out.tree, &test);
+    }
+}
+
+/// Grow a random tree: repeatedly split a random leaf with a random
+/// numeric or categorical splitter until `splits` internal nodes exist.
+fn random_tree(rng: &mut StdRng, splits: usize) -> DecisionTree {
+    let mut tree = DecisionTree::single_leaf(vec![1, 1]);
+    let mut leaves = vec![0usize];
+    for _ in 0..splits {
+        let pick = rng.random_range(0..leaves.len());
+        let leaf = leaves.swap_remove(pick);
+        let splitter = random_splitter(rng);
+        let (l, r) = tree.split_leaf(
+            leaf,
+            splitter,
+            vec![rng.random_range(0u64..10), rng.random_range(0u64..10)],
+            vec![rng.random_range(0u64..10), rng.random_range(0u64..10)],
+        );
+        leaves.push(l);
+        leaves.push(r);
+    }
+    tree
+}
+
+fn random_splitter(rng: &mut StdRng) -> Splitter {
+    if rng.random_bool(0.5) {
+        Splitter::Numeric {
+            attr: rng.random_range(0..NUM_NUMERIC),
+            threshold: rng.random_range(-1_000.0..1_000.0),
+        }
+    } else {
+        let attr = rng.random_range(0..NUM_CATEGORICAL);
+        Splitter::Categorical {
+            attr,
+            left_values: rng.next_u64() & ((1u64 << CATEGORICAL_CARDINALITY[attr]) - 1),
+        }
+    }
+}
+
+/// A random record in the same attribute domains the random splitters draw
+/// from, with occasional boundary-exact numeric values.
+fn random_record(rng: &mut StdRng) -> Record {
+    let mut numeric = [0.0f64; NUM_NUMERIC];
+    for v in numeric.iter_mut() {
+        *v = rng.random_range(-1_200.0..1_200.0);
+    }
+    let mut categorical = [0u8; NUM_CATEGORICAL];
+    for (c, &card) in categorical.iter_mut().zip(&CATEGORICAL_CARDINALITY) {
+        *c = rng.random_range(0..card) as u8;
+    }
+    Record { numeric, categorical, class: 0 }
+}
+
+use rand::RngCore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random trees × random records: all layouts match the pointer tree.
+    #[test]
+    fn random_trees_agree(seed in any::<u64>(), splits in 0usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(&mut rng, splits);
+        let records: Vec<Record> = (0..200).map(|_| random_record(&mut rng)).collect();
+        check_parity(&tree, &records);
+    }
+
+    /// Records whose numeric values are copied from thresholds in the tree
+    /// exercise the inclusive `<=` boundary of every numeric split.
+    #[test]
+    fn threshold_exact_records_agree(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(&mut rng, 20);
+        let thresholds: Vec<(usize, f64)> = tree
+            .nodes
+            .iter()
+            .filter_map(|node| match node {
+                pdc_clouds::Node::Internal {
+                    splitter: Splitter::Numeric { attr, threshold },
+                    ..
+                } => Some((*attr, *threshold)),
+                _ => None,
+            })
+            .collect();
+        let mut records = Vec::new();
+        for &(attr, threshold) in &thresholds {
+            let mut r = random_record(&mut rng);
+            r.numeric[attr] = threshold;
+            records.push(r);
+            // And one record sitting exactly on *every* numeric threshold at
+            // once, to stack boundary cases along a single root-leaf path.
+            let mut all = random_record(&mut rng);
+            for &(a, t) in &thresholds {
+                all.numeric[a] = t;
+            }
+            records.push(all);
+        }
+        check_parity(&tree, &records);
+    }
+}
+
+#[test]
+fn single_leaf_tree_agrees() {
+    for class in 0..2u64 {
+        let counts = if class == 0 { vec![7, 3] } else { vec![3, 7] };
+        let tree = DecisionTree::single_leaf(counts);
+        let records = generate(500, GeneratorConfig::default());
+        check_parity(&tree, &records);
+        // The predicated layout pads to depth 0 here: zero loop iterations.
+        let pred = Layout::Predicated.compile(&tree);
+        assert_eq!(pred.predict(&records[0]), tree.predict(&records[0]));
+    }
+}
+
+#[test]
+fn max_depth_chain_agrees() {
+    // A pathological left-leaning chain as deep as the training stack would
+    // ever grow one (CloudsParams::default().max_depth), splitting on the
+    // same attribute with descending thresholds.
+    let depth = CloudsParams::default().max_depth.max(32);
+    let mut tree = DecisionTree::single_leaf(vec![depth as u64, depth as u64]);
+    let mut leaf = 0usize;
+    for d in 0..depth {
+        let threshold = 1_000.0 - d as f64;
+        let (l, _) = tree.split_leaf(
+            leaf,
+            Splitter::Numeric { attr: 0, threshold },
+            vec![(depth - d) as u64, 0],
+            vec![0, 1],
+        );
+        leaf = l;
+    }
+    let mut rng = StdRng::seed_from_u64(0xDEE9);
+    let mut records: Vec<Record> = (0..400).map(|_| random_record(&mut rng)).collect();
+    // Drive records to every depth of the chain.
+    for (i, r) in records.iter_mut().enumerate() {
+        r.numeric[0] = 1_001.0 - (i % (depth + 2)) as f64;
+    }
+    check_parity(&tree, &records);
+}
+
+#[test]
+fn categorical_only_tree_agrees() {
+    // Splits on every categorical attribute and masks at both extremes
+    // (empty mask: everything goes right; full mask: everything goes left).
+    let mut tree = DecisionTree::single_leaf(vec![4, 4]);
+    let (l, r) = tree.split_leaf(
+        0,
+        Splitter::Categorical { attr: 0, left_values: 0b0_0110 },
+        vec![4, 0],
+        vec![0, 4],
+    );
+    tree.split_leaf(
+        l,
+        Splitter::Categorical { attr: 1, left_values: 0 },
+        vec![2, 0],
+        vec![2, 0],
+    );
+    tree.split_leaf(
+        r,
+        Splitter::Categorical {
+            attr: 2,
+            left_values: (1u64 << CATEGORICAL_CARDINALITY[2]) - 1,
+        },
+        vec![0, 2],
+        vec![0, 2],
+    );
+    let mut rng = StdRng::seed_from_u64(0xCA7);
+    let records: Vec<Record> = (0..500).map(|_| random_record(&mut rng)).collect();
+    check_parity(&tree, &records);
+    // Trained categorical-heavy tree: function F10 splits on elevel/zipcode.
+    let gen = GeneratorConfig { function: ClassifyFn::F10, noise: 0.0, seed: 0xCAFE };
+    let out = train_in_memory(&generate(2_000, gen), 2, &small_config());
+    check_parity(&out.tree, &generate(1_000, gen));
+}
