@@ -21,6 +21,7 @@
 //! contract for the engine's performance claims.
 
 use pdc_bench::harness::{csv_flag, run_pclouds, run_pclouds_engine, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_cgm::{Cluster, MachineConfig};
 use pdc_dnc::Strategy;
 use pdc_pario::{BackendKind, DiskFarm, EngineConfig, ReplacementPolicy};
@@ -290,4 +291,23 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/ablation_cache.csv", csv_text).expect("write csv");
     eprintln!("  wrote results/ablation_cache.csv ({} rows)", rows.len());
+
+    // Machine-readable summary for the perf gate. Makespans are banded;
+    // hit/miss counts come from the deterministic cache model, so they
+    // gate as exact.
+    let mut summary = BenchSummary::new("ablation_cache", scale);
+    for r in &rows {
+        let key = format!(
+            "{}_{}_b{}_pf{}",
+            r.workload,
+            r.policy,
+            r.budget_pages,
+            if r.prefetch { "on" } else { "off" }
+        );
+        summary.metric(&format!("{key}_makespan_s"), r.makespan);
+        summary.metric(&format!("{key}_hits_exact"), r.hits as f64);
+        summary.metric(&format!("{key}_misses_exact"), r.misses as f64);
+    }
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
 }

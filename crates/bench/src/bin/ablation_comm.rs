@@ -19,6 +19,7 @@
 //! virtual communication time at every processor count.
 
 use pdc_bench::harness::{csv_flag, run_pclouds, run_pclouds_comm, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_dnc::Strategy;
 use pdc_pclouds::CommConfig;
 
@@ -164,4 +165,17 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/ablation_comm.csv", csv_text).expect("write csv");
     eprintln!("  wrote results/ablation_comm.csv ({} rows)", rows.len());
+
+    // Machine-readable summary for the perf gate. Byte/message counts come
+    // straight off the deterministic wire model and gate as exact.
+    let mut summary = BenchSummary::new("ablation_comm", scale);
+    for r in &rows {
+        let key = format!("p{}_{}", r.p, r.config);
+        summary.metric(&format!("{key}_makespan_s"), r.makespan);
+        summary.metric(&format!("{key}_comm_time_s"), r.comm_time);
+        summary.metric(&format!("{key}_bytes_sent_exact"), r.bytes_sent as f64);
+        summary.metric(&format!("{key}_messages_exact"), r.messages_sent as f64);
+    }
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
 }

@@ -23,6 +23,7 @@
 //!   below).
 
 use pdc_bench::harness::{ascii_chart, csv_flag, run_pclouds_faulty, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_cgm::FaultPlan;
 use pdc_dnc::Strategy;
 
@@ -93,6 +94,8 @@ fn main() {
         Some(SWITCH_THRESHOLD),
     );
     let base = healthy.runtime();
+    let mut summary = BenchSummary::new("ablation_faults", scale);
+    summary.metric("healthy_runtime_s", base);
     let mut degradation = Vec::new();
     for rate in [0.0, 0.001, 0.005, 0.02] {
         let out = run_pclouds_faulty(
@@ -116,6 +119,9 @@ fn main() {
             totals.disk_retries.to_string(),
         ]);
         degradation.push((rate, out.runtime()));
+        let key = format!("rate{}", format!("{rate}").replace('.', "_"));
+        summary.metric(&format!("{key}_runtime_s"), out.runtime());
+        summary.metric(&format!("{key}_disk_retries_exact"), totals.disk_retries as f64);
         eprintln!("  rate={rate}: {:.3}s ({:.3}x)", out.runtime(), out.runtime() / base);
     }
     assert!(
@@ -156,6 +162,9 @@ fn main() {
             ]);
         }
         let [oblivious, recovered] = runtimes;
+        let key = format!("skew{}", format!("{skew}").replace('.', "_"));
+        summary.metric(&format!("{key}_oblivious_s"), oblivious);
+        summary.metric(&format!("{key}_recovered_s"), recovered);
         eprintln!(
             "  skew={skew}: oblivious {oblivious:.3}s, recovered {recovered:.3}s"
         );
@@ -176,6 +185,8 @@ fn main() {
     }
 
     table.print();
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
     if !csv {
         println!();
         println!("runtime (s) vs straggler skew:");

@@ -10,6 +10,7 @@
 //! attribute-based owners become the bottleneck of the derive phase.
 
 use pdc_bench::harness::{csv_flag, experiment_config, machine_config, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_cgm::Cluster;
 use pdc_datagen::{GeneratorConfig, RecordStream};
 use pdc_dnc::Strategy;
@@ -21,6 +22,7 @@ fn main() {
     let csv = csv_flag();
     let n = scale.records(3_600_000);
     eprintln!("ablation_replication: n={n}");
+    let mut summary = BenchSummary::new("ablation_replication", scale);
     let mut table = TableWriter::new(
         &[
             "approach",
@@ -50,6 +52,11 @@ fn main() {
             let cluster = Cluster::with_config(p, machine_config(scale));
             let out = train(&cluster, &farm, &root, &cfg, Strategy::Mixed);
             let derive: Vec<f64> = out.metrics.iter().map(|m| m.time_derive).collect();
+            summary.metric(&format!("{name}_p{p}_runtime_s"), out.runtime());
+            summary.metric(
+                &format!("{name}_p{p}_derive_max_s"),
+                derive.iter().cloned().fold(0.0f64, f64::max),
+            );
             table.row(vec![
                 name.to_string(),
                 p.to_string(),
@@ -61,4 +68,6 @@ fn main() {
         }
     }
     table.print();
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
 }

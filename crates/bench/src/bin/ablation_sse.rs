@@ -8,6 +8,7 @@
 //! splits; survival ratios stay small (SSE's second pass is cheap).
 
 use pdc_bench::harness::{csv_flag, experiment_config, machine_config, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_cgm::Cluster;
 use pdc_clouds::{accuracy, build_tree, mdl_prune, MdlParams, SplitMethod};
 use pdc_datagen::{generate, train_test_split, ClassifyFn, GeneratorConfig};
@@ -20,6 +21,7 @@ fn main() {
     let csv = csv_flag();
     let n = scale.records(2_000_000) as usize;
     let p = 8;
+    let mut summary = BenchSummary::new("ablation_sse", scale);
 
     // --- Part 1: sequential quality comparison. ---
     let mut quality = TableWriter::new(
@@ -41,6 +43,9 @@ fn main() {
             params.method = method;
             let mut tree = build_tree(&train_set, &params);
             mdl_prune(&mut tree, &MdlParams::default());
+            let key = format!("f{}_{}", f.index(), format!("{method:?}").to_lowercase());
+            summary.metric(&format!("{key}_accuracy"), accuracy(&tree, &test_set));
+            summary.metric(&format!("{key}_leaves_exact"), tree.num_leaves() as f64);
             quality.row(vec![
                 format!("F{}", f.index()),
                 format!("{method:?}"),
@@ -71,6 +76,10 @@ fn main() {
             .map(|m| m.root_survival_ratio)
             .fold(0.0f64, f64::max);
         let alive: u64 = out.metrics.iter().map(|m| m.alive_points_scanned).sum();
+        let key = format!("{method:?}").to_lowercase();
+        summary.metric(&format!("{key}_runtime_s"), out.runtime());
+        summary.metric(&format!("{key}_root_survival"), survival);
+        summary.metric(&format!("{key}_alive_points_exact"), alive as f64);
         runtime.row(vec![
             format!("{method:?}"),
             format!("{:.3}", out.runtime()),
@@ -80,4 +89,6 @@ fn main() {
     }
     println!("\n-- parallel runtime on {n} records, p={p} --");
     runtime.print();
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
 }

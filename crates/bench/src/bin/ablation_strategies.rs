@@ -13,11 +13,13 @@
 //!   prefer plain data parallelism out-of-core.
 
 use pdc_bench::harness::{csv_flag, run_pclouds, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_dnc::Strategy;
 
 fn main() {
     let scale = Scale::from_env();
     let csv = csv_flag();
+    let mut summary = BenchSummary::new("ablation_strategies", scale);
     let n = scale.records(4_800_000);
     let p = 8;
     eprintln!("ablation_strategies: n={n} p={p}");
@@ -39,6 +41,10 @@ fn main() {
     ] {
         let out = run_pclouds(n, p, scale, strategy);
         let totals = out.run.total_counters();
+        let key = name.replace('-', "_");
+        summary.metric(&format!("{key}_runtime_s"), out.runtime());
+        summary.metric(&format!("{key}_messages_exact"), totals.messages_sent as f64);
+        summary.metric(&format!("{key}_imbalance"), out.run.imbalance());
         table.row(vec![
             name.to_string(),
             format!("{:.3}", out.runtime()),
@@ -49,4 +55,6 @@ fn main() {
         eprintln!("  {name}: {:.3}s, {} msgs", out.runtime(), totals.messages_sent);
     }
     table.print();
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
 }

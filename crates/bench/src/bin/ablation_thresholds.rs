@@ -9,6 +9,7 @@
 //! defeats out-of-core operation.
 
 use pdc_bench::harness::{csv_flag, experiment_config, machine_config, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_cgm::Cluster;
 use pdc_datagen::{GeneratorConfig, RecordStream};
 use pdc_dnc::Strategy;
@@ -34,9 +35,11 @@ fn main() {
     let base_mem = experiment_config(n, scale).memory_limit_bytes;
 
     eprintln!("ablation_thresholds: n={n} p={p} base_mem={base_mem}");
+    let mut summary = BenchSummary::new("ablation_thresholds", scale);
     let mut sw = TableWriter::new(&["switch_threshold_intervals", "runtime_s"], csv);
     for switch in [1usize, 5, 10, 25, 50, 100] {
         let t = run(n, p, scale, switch, base_mem);
+        summary.metric(&format!("switch{switch}_runtime_s"), t);
         sw.row(vec![switch.to_string(), format!("{t:.3}")]);
         eprintln!("  switch={switch}: {t:.3}s");
     }
@@ -44,12 +47,15 @@ fn main() {
     sw.print();
 
     let mut mem_table = TableWriter::new(&["memory_limit_kb", "runtime_s"], csv);
-    for factor in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+    for (i, factor) in [0.25f64, 0.5, 1.0, 2.0, 4.0].into_iter().enumerate() {
         let mem = ((base_mem as f64 * factor) as usize).max(8 * 1024);
         let t = run(n, p, scale, 10, mem);
+        summary.metric(&format!("mem{i}_runtime_s"), t);
         mem_table.row(vec![(mem / 1024).to_string(), format!("{t:.3}")]);
         eprintln!("  mem={}kb: {t:.3}s", mem / 1024);
     }
     println!("\n-- memory limit sweep (switch threshold = 10) --");
     mem_table.print();
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
 }

@@ -12,11 +12,13 @@
 //! `PCLOUDS_SCALE=full` reproduces the paper's sizes; the default is 1/20.
 
 use pdc_bench::harness::{ascii_chart, csv_flag, run_pclouds, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_dnc::Strategy;
 
 fn main() {
     let scale = Scale::from_env();
     let csv = csv_flag();
+    let mut summary = BenchSummary::new("fig1_speedup", scale);
     let paper_sizes: [u64; 4] = [3_600_000, 4_800_000, 6_000_000, 7_200_000];
     let procs = [1usize, 2, 4, 8, 16];
 
@@ -42,6 +44,9 @@ fn main() {
                 t1 = t;
             }
             let speedup = t1 / t;
+            let mk = paper_n / 100_000; // stable across scales: paper size in 0.1M units
+            summary.metric(&format!("runtime_s_n{mk}_p{p}"), t);
+            summary.metric(&format!("speedup_n{mk}_p{p}"), speedup);
             points.push((p as f64, speedup));
             table.row(vec![
                 n.to_string(),
@@ -55,6 +60,8 @@ fn main() {
         series.push((format!("{n} records"), points));
     }
     table.print();
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
     if !csv {
         println!("
 speedup vs processors:");

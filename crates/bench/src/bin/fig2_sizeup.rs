@@ -7,11 +7,13 @@
 //! of exchanging count matrices and split points does not.
 
 use pdc_bench::harness::{csv_flag, run_pclouds, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_dnc::Strategy;
 
 fn main() {
     let scale = Scale::from_env();
     let csv = csv_flag();
+    let mut summary = BenchSummary::new("fig2_sizeup", scale);
     let paper_sizes: [u64; 4] = [3_600_000, 4_800_000, 6_000_000, 7_200_000];
     let procs = [4usize, 8, 16];
 
@@ -23,6 +25,9 @@ fn main() {
             let t1 = run_pclouds(n, 1, scale, Strategy::Mixed).runtime();
             let tp = run_pclouds(n, p, scale, Strategy::Mixed).runtime();
             let speedup = t1 / tp;
+            let mk = paper_n / 100_000;
+            summary.metric(&format!("runtime_s_n{mk}_p{p}"), tp);
+            summary.metric(&format!("speedup_n{mk}_p{p}"), speedup);
             table.row(vec![
                 p.to_string(),
                 n.to_string(),
@@ -33,4 +38,6 @@ fn main() {
         }
     }
     table.print();
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
 }

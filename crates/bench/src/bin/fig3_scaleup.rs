@@ -8,11 +8,13 @@
 //! plus the unregrouped small-node task parallelism.
 
 use pdc_bench::harness::{csv_flag, run_pclouds, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_dnc::Strategy;
 
 fn main() {
     let scale = Scale::from_env();
     let csv = csv_flag();
+    let mut summary = BenchSummary::new("fig3_scaleup", scale);
     let paper_densities: [u64; 5] = [200_000, 300_000, 400_000, 500_000, 600_000];
     let procs = [1usize, 2, 4, 8, 16];
 
@@ -27,6 +29,8 @@ fn main() {
             let n = density * p as u64;
             let out = run_pclouds(n, p, scale, Strategy::Mixed);
             let t = out.runtime();
+            let dk = paper_density / 100_000;
+            summary.metric(&format!("runtime_s_d{dk}_p{p}"), t);
             table.row(vec![
                 density.to_string(),
                 p.to_string(),
@@ -37,4 +41,6 @@ fn main() {
         }
     }
     table.print();
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
 }

@@ -19,6 +19,7 @@
 //!   trade-off rather than a free win; the figure reports where it lands.
 
 use pdc_bench::harness::{csv_flag, machine_config, run_pclouds, Scale, TableWriter};
+use pdc_bench::summary::BenchSummary;
 use pdc_cgm::Cluster;
 use pdc_datagen::GeneratorConfig;
 use pdc_dnc::Strategy;
@@ -90,16 +91,30 @@ fn main() {
             for layout in ALL_LAYOUTS {
                 let farm = DiskFarm::with_engine(p, BackendKind::InMemory, engine);
                 stage_requests(&farm, requests, request_gen);
-                let report = serve(
-                    &cluster,
-                    &farm,
-                    &tree,
-                    &ServeConfig {
-                        layout,
-                        batch_records: batch,
-                    },
-                );
+                // Exact latencies ride along to validate the histogram path:
+                // every reported percentile must agree with the exact
+                // nearest-rank answer within the bucket layout's relative
+                // error (see `pdc_cgm::hist`).
+                let serve_cfg = ServeConfig::new(layout, batch).with_exact_latencies();
+                let report = serve(&cluster, &farm, &tree, &serve_cfg);
                 assert_eq!(report.records, requests);
+                let exact = report
+                    .latency_exact
+                    .expect("exact latencies were requested");
+                let tol = serve_cfg.hist.rel_error();
+                for (which, approx, e) in [
+                    ("p50", report.latency.p50, exact.p50),
+                    ("p99", report.latency.p99, exact.p99),
+                    ("p999", report.latency.p999, exact.p999),
+                ] {
+                    assert!(
+                        approx >= e - 1e-15 && approx <= e * (1.0 + tol) + 1e-15,
+                        "engine={engine_name} batch={batch} {}: histogram {which} \
+                         {approx} strays from exact {e} beyond relative error {tol}",
+                        layout.name()
+                    );
+                }
+                assert_eq!(report.latency.max, exact.max);
                 cell.push((layout, report));
             }
             let pointer = cell
@@ -188,4 +203,23 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/fig_serving.csv", csv_text).expect("write csv");
     eprintln!("  wrote results/fig_serving.csv ({} rows)", rows.len());
+
+    // Machine-readable summary for the perf gate: one metric per
+    // (engine, batch, layout) cell plus the exact correctness invariants.
+    let mut summary = BenchSummary::new("fig_serving", scale);
+    summary.metric("records_exact", requests as f64);
+    for r in &rows {
+        let key = format!("e{}_b{}_{}", r.engine, r.batch, r.layout.name());
+        summary.metric(&format!("{key}_rps"), r.report.throughput_rps);
+        summary.metric(&format!("{key}_p99_ms"), r.report.latency.p99 * 1e3);
+        summary.metric(
+            &format!("{key}_identical_exact"),
+            f64::from(u8::from(r.identical)),
+        );
+        if r.layout != Layout::Pointer {
+            summary.metric(&format!("{key}_speedup"), r.speedup_vs_pointer);
+        }
+    }
+    let path = summary.write();
+    eprintln!("  wrote {}", path.display());
 }

@@ -1,0 +1,257 @@
+//! Perf-regression gating: compare a fresh [`BenchSummary`] against a
+//! checked-in baseline with per-metric tolerance bands.
+//!
+//! The contract is deliberately simple so it can be audited in CI output:
+//!
+//! * schemas and scales must match exactly (a quick-scale baseline never
+//!   gates a default-scale run);
+//! * every baseline metric must exist in the current run (metrics may be
+//!   *added* freely — the gate is forward-compatible — but a metric
+//!   disappearing is itself a regression of the measurement);
+//! * a metric whose name ends in `_exact` is declared deterministic and
+//!   must be **bitwise equal** — these carry correctness invariants
+//!   (record counts, identical-prediction flags) where any drift means a
+//!   behavior change, not noise;
+//! * every other metric gets a symmetric relative band:
+//!   `|current − baseline| ≤ tol × max(|baseline|, 1e-12)`. The virtual
+//!   clock is deterministic, so the band absorbs *intentional* cost-model
+//!   retuning, not run-to-run noise; the default `tol` of 0.25 flags any
+//!   quarter-magnitude shift for a human to re-baseline deliberately.
+
+use crate::summary::BenchSummary;
+
+/// Default relative tolerance for non-exact metrics.
+pub const DEFAULT_REL_TOL: f64 = 0.25;
+
+/// Why a metric (or a whole summary) failed the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// The two summaries carry different schema tags.
+    SchemaMismatch,
+    /// The two summaries were produced at different workload scales.
+    ScaleMismatch,
+    /// A baseline metric is missing from the current run.
+    MissingMetric,
+    /// An `_exact` metric changed bits.
+    ExactMismatch,
+    /// A banded metric moved outside its tolerance.
+    OutOfBand,
+}
+
+/// One gate failure, with everything a CI log needs to explain it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The binary whose summary failed.
+    pub bin: String,
+    /// The offending metric (empty for summary-level mismatches).
+    pub metric: String,
+    /// Baseline value (0.0 for summary-level mismatches).
+    pub baseline: f64,
+    /// Current value (0.0 when the metric is missing).
+    pub current: f64,
+    /// The relative tolerance that applied (0.0 for exact metrics).
+    pub rel_tol: f64,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+impl Violation {
+    /// One-line rendering for gate output.
+    pub fn render(&self) -> String {
+        match self.kind {
+            ViolationKind::SchemaMismatch => {
+                format!("{}: schema mismatch (re-baseline after schema bumps)", self.bin)
+            }
+            ViolationKind::ScaleMismatch => format!(
+                "{}: scale mismatch — baseline and run must use the same PCLOUDS_SCALE",
+                self.bin
+            ),
+            ViolationKind::MissingMetric => format!(
+                "{}/{}: metric present in baseline but missing from this run",
+                self.bin, self.metric
+            ),
+            ViolationKind::ExactMismatch => format!(
+                "{}/{}: exact metric changed {} -> {} (must be bitwise equal)",
+                self.bin, self.metric, self.baseline, self.current
+            ),
+            ViolationKind::OutOfBand => {
+                let delta = if self.baseline != 0.0 {
+                    (self.current - self.baseline) / self.baseline * 100.0
+                } else {
+                    f64::INFINITY
+                };
+                format!(
+                    "{}/{}: {} -> {} ({delta:+.1}% vs ±{:.0}% band)",
+                    self.bin,
+                    self.metric,
+                    self.baseline,
+                    self.current,
+                    self.rel_tol * 100.0
+                )
+            }
+        }
+    }
+}
+
+/// Compare `current` against `baseline`. Returns every violation (empty =
+/// gate passes for this binary). `rel_tol` is the band for non-`_exact`
+/// metrics.
+pub fn compare(baseline: &BenchSummary, current: &BenchSummary, rel_tol: f64) -> Vec<Violation> {
+    assert!(rel_tol >= 0.0, "tolerance must be non-negative");
+    let mut out = Vec::new();
+    let summary_level = |kind| Violation {
+        bin: baseline.bin.clone(),
+        metric: String::new(),
+        baseline: 0.0,
+        current: 0.0,
+        rel_tol: 0.0,
+        kind,
+    };
+    if baseline.schema != current.schema {
+        out.push(summary_level(ViolationKind::SchemaMismatch));
+        return out;
+    }
+    if baseline.scale != current.scale {
+        out.push(summary_level(ViolationKind::ScaleMismatch));
+        return out;
+    }
+    for (name, base) in &baseline.metrics {
+        let Some(cur) = current.get(name) else {
+            out.push(Violation {
+                bin: baseline.bin.clone(),
+                metric: name.clone(),
+                baseline: *base,
+                current: 0.0,
+                rel_tol: 0.0,
+                kind: ViolationKind::MissingMetric,
+            });
+            continue;
+        };
+        if name.ends_with("_exact") {
+            if cur.to_bits() != base.to_bits() {
+                out.push(Violation {
+                    bin: baseline.bin.clone(),
+                    metric: name.clone(),
+                    baseline: *base,
+                    current: cur,
+                    rel_tol: 0.0,
+                    kind: ViolationKind::ExactMismatch,
+                });
+            }
+        } else {
+            let allowed = rel_tol * base.abs().max(1e-12);
+            if (cur - base).abs() > allowed {
+                out.push(Violation {
+                    bin: baseline.bin.clone(),
+                    metric: name.clone(),
+                    baseline: *base,
+                    current: cur,
+                    rel_tol,
+                    kind: ViolationKind::OutOfBand,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    fn baseline() -> BenchSummary {
+        let mut s = BenchSummary::new("fig_demo", Scale::Quick);
+        s.metric("throughput_rps", 1000.0)
+            .metric("p99_ms", 2.0)
+            .metric("records_exact", 24000.0);
+        s
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let b = baseline();
+        assert!(compare(&b, &b.clone(), DEFAULT_REL_TOL).is_empty());
+    }
+
+    #[test]
+    fn drift_within_band_passes() {
+        let b = baseline();
+        let mut c = BenchSummary::new("fig_demo", Scale::Quick);
+        c.metric("throughput_rps", 1200.0) // +20% < 25%
+            .metric("p99_ms", 1.6) // -20%
+            .metric("records_exact", 24000.0)
+            .metric("extra_new_metric", 7.0); // additions are fine
+        assert!(compare(&b, &c, DEFAULT_REL_TOL).is_empty());
+    }
+
+    #[test]
+    fn perturbation_beyond_band_fails() {
+        let b = baseline();
+        let mut c = BenchSummary::new("fig_demo", Scale::Quick);
+        c.metric("throughput_rps", 700.0) // -30% regression
+            .metric("p99_ms", 2.0)
+            .metric("records_exact", 24000.0);
+        let v = compare(&b, &c, DEFAULT_REL_TOL);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::OutOfBand);
+        assert_eq!(v[0].metric, "throughput_rps");
+        assert!(v[0].render().contains("-30.0%"), "{}", v[0].render());
+    }
+
+    #[test]
+    fn exact_metrics_require_bitwise_equality() {
+        let b = baseline();
+        let mut c = BenchSummary::new("fig_demo", Scale::Quick);
+        c.metric("throughput_rps", 1000.0)
+            .metric("p99_ms", 2.0)
+            .metric("records_exact", 24000.0 + 1e-9); // inside any band, still fails
+        let v = compare(&b, &c, DEFAULT_REL_TOL);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::ExactMismatch);
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let b = baseline();
+        let mut c = BenchSummary::new("fig_demo", Scale::Quick);
+        c.metric("throughput_rps", 1000.0)
+            .metric("records_exact", 24000.0);
+        let v = compare(&b, &c, DEFAULT_REL_TOL);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::MissingMetric);
+        assert_eq!(v[0].metric, "p99_ms");
+    }
+
+    #[test]
+    fn scale_mismatch_short_circuits() {
+        let b = baseline();
+        let mut c = BenchSummary::new("fig_demo", Scale::Default);
+        c.metric("throughput_rps", 1000.0);
+        let v = compare(&b, &c, DEFAULT_REL_TOL);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::ScaleMismatch);
+    }
+
+    #[test]
+    fn schema_mismatch_short_circuits() {
+        let b = baseline();
+        let mut c = b.clone();
+        c.schema = "pdc-bench-summary/999".to_string();
+        let v = compare(&b, &c, DEFAULT_REL_TOL);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::SchemaMismatch);
+    }
+
+    #[test]
+    fn zero_baseline_uses_absolute_floor() {
+        let mut b = BenchSummary::new("z", Scale::Quick);
+        b.metric("faults", 0.0);
+        let mut ok = BenchSummary::new("z", Scale::Quick);
+        ok.metric("faults", 0.0);
+        assert!(compare(&b, &ok, DEFAULT_REL_TOL).is_empty());
+        let mut bad = BenchSummary::new("z", Scale::Quick);
+        bad.metric("faults", 3.0);
+        assert_eq!(compare(&b, &bad, DEFAULT_REL_TOL).len(), 1);
+    }
+}

@@ -50,6 +50,16 @@ impl Scale {
     pub fn q_root(self) -> usize {
         (10_000 / self.divisor() as usize).max(500)
     }
+
+    /// Stable name recorded in benchmark summaries — baselines taken at one
+    /// scale are only comparable against runs at the same scale.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Default => "default",
+            Scale::Quick => "quick",
+        }
+    }
 }
 
 /// One pCLOUDS experiment: generate `n` records (streamed — never all in

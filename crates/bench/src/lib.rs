@@ -9,7 +9,14 @@
 //!
 //! Workload scale is controlled by `PCLOUDS_SCALE` (`full` / default /
 //! `quick`); pass `--csv` for machine-readable output.
+//!
+//! Beyond the per-binary tables/CSVs, every binary writes a
+//! schema-versioned [`summary::BenchSummary`] (`results/BENCH_<bin>.json`)
+//! and the `perf_gate` binary compares fresh quick-scale runs against the
+//! checked-in baselines in `results/baselines/` (see [`gate`]).
 
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod harness;
+pub mod summary;

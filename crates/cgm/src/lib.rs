@@ -46,6 +46,7 @@ pub mod export;
 pub mod fault;
 pub mod gauge;
 pub mod group;
+pub mod hist;
 pub mod mailbox;
 pub mod metrics;
 pub mod proc;
@@ -64,6 +65,7 @@ pub use export::{
 pub use fault::{DegradedWindow, DiskFaults, FaultError, FaultPlan, LinkFaults};
 pub use gauge::{resolve_series, GaugePoint, GaugeSeries};
 pub use group::Group;
+pub use hist::{Histogram, HistogramSpec};
 pub use metrics::{MetricsRegistry, NameSummary, SpanRow};
 pub use proc::{IoTicket, Proc};
 pub use report::{BuildReport, GaugeStat, Hotspot, LevelReport, NodeReport, RankUtilization};

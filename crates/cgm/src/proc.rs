@@ -332,6 +332,24 @@ impl Proc {
         }
     }
 
+    /// Record an absolute sample of gauge `name` at an explicit virtual
+    /// `time` (which may lie before the current clock). Used by
+    /// instrumentation that only learns a window's aggregate after the
+    /// window closed — e.g. the serving telemetry records a window's
+    /// throughput at the window's end time when the first batch of the
+    /// *next* window completes. Pure observation; a no-op when gauges are
+    /// disabled.
+    pub fn gauge_at(&mut self, name: &'static str, time: f64, value: f64) {
+        if self.shared.gauges {
+            self.gauges.push(GaugePoint {
+                name,
+                time,
+                value,
+                absolute: true,
+            });
+        }
+    }
+
     /// Record a delta event on gauge `name` at an explicit virtual `time`
     /// (which may differ from the current clock — see the [`crate::gauge`]
     /// module docs for why interval occupancy is recorded this way). Pure

@@ -1,0 +1,152 @@
+//! Property and integration tests of [`pdc_cgm::hist`]: the merge
+//! operation must be associative and commutative (so cluster reductions
+//! are shape-independent), quantiles must stay within the spec's relative
+//! error of the exact nearest-rank answer, and per-rank histograms must
+//! reduce through the ordinary collectives.
+
+use pdc_cgm::{Cluster, Histogram, HistogramSpec, Wire};
+use proptest::prelude::*;
+
+fn spec() -> HistogramSpec {
+    HistogramSpec::new(1e-6, 60.0, 2)
+}
+
+fn hist_of(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new(spec());
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spanning underflow, the full bucket range, and overflow.
+fn sample_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-8f64..100.0, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in sample_vec(), b in sample_vec()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in sample_vec(),
+        b in sample_vec(),
+        c in sample_vec(),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_union(a in sample_vec(), b in sample_vec()) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut union: Vec<f64> = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&union));
+    }
+
+    #[test]
+    fn quantile_within_relative_error(samples in proptest::collection::vec(2e-6f64..59.0, 1..300)) {
+        let h = hist_of(&samples);
+        let mut exact = samples.clone();
+        exact.sort_by(f64::total_cmp);
+        let s = spec();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let e = exact[rank - 1];
+            let approx = h.quantile(q);
+            prop_assert!(
+                approx >= e - 1e-15 && approx <= e * (1.0 + s.rel_error()) + 1e-15,
+                "q={} approx={} exact={}", q, approx, e
+            );
+        }
+    }
+
+    #[test]
+    fn wire_roundtrips_any_contents(samples in sample_vec()) {
+        let h = hist_of(&samples);
+        prop_assert_eq!(Histogram::from_bytes(&h.to_bytes()).unwrap(), h);
+    }
+}
+
+#[test]
+fn per_rank_histograms_reduce_through_allreduce() {
+    // Each rank records its own latencies; one allreduce with `merge` as
+    // the combiner produces, on every rank, exactly the histogram of the
+    // union — independent of the reduction tree the collective uses.
+    for p in [1usize, 2, 3, 5, 8] {
+        let out = Cluster::new(p).run(|proc| {
+            let mut h = Histogram::new(spec());
+            for i in 0..50 {
+                h.record(1e-4 * (proc.rank() as f64 + 1.0) * (i as f64 + 1.0));
+            }
+            proc.allreduce(h, |mut a, b| {
+                a.merge(&b);
+                a
+            })
+        });
+        let mut expected = Histogram::new(spec());
+        for rank in 0..p {
+            for i in 0..50 {
+                expected.record(1e-4 * (rank as f64 + 1.0) * (i as f64 + 1.0));
+            }
+        }
+        for h in &out.results {
+            assert_eq!(h, &expected, "p={p}: reduced histogram must be the union");
+        }
+    }
+}
+
+#[test]
+fn reduction_is_shape_independent() {
+    // The same per-rank contents reduced over different processor counts
+    // (and therefore different binomial-tree shapes) always yield the
+    // union histogram — the practical payoff of associativity +
+    // commutativity with integer counts.
+    let contents: Vec<Vec<f64>> = (0..8)
+        .map(|r| (0..20).map(|i| 1e-3 * ((r * 20 + i) as f64 + 1.0)).collect())
+        .collect();
+    let mut expected = Histogram::new(spec());
+    for c in &contents {
+        for &v in c {
+            expected.record(v);
+        }
+    }
+    let contents = std::sync::Arc::new(contents);
+    for p in [8usize] {
+        let contents = std::sync::Arc::clone(&contents);
+        let out = Cluster::new(p).run(move |proc| {
+            let mut h = Histogram::new(spec());
+            for &v in &contents[proc.rank()] {
+                h.record(v);
+            }
+            proc.allreduce(h, |mut a, b| {
+                a.merge(&b);
+                a
+            })
+        });
+        for h in &out.results {
+            assert_eq!(h, &expected);
+        }
+    }
+}

@@ -15,28 +15,71 @@
 //!    trait (span `serve.score`), charging the layout's traversal cost.
 //!
 //! Per batch the harness records the **virtual-clock latency** from the
-//! start of the batch read to the last prediction; the report aggregates
-//! sustained records/sec and p50/p99/p999 tail latency over all batches of
-//! all ranks.
+//! start of the batch read to the last prediction. Latencies accumulate in
+//! a bounded-memory, mergeable [`Histogram`] per rank (bounded relative
+//! error, see [`pdc_cgm::hist`]); the report aggregates sustained
+//! records/sec and histogram-derived p50/p99/p999 tail latency over all
+//! batches of all ranks. For validation runs,
+//! [`ServeConfig::exact_latencies`] additionally keeps every raw latency
+//! and reports exact nearest-rank percentiles alongside — the `fig_serving`
+//! harness asserts the two agree within the histogram's relative error.
+//! With [`ServeConfig::telemetry`] set, a [`WindowRecorder`] slices each
+//! rank's batch completions into tumbling windows and the report carries a
+//! full [`TelemetryReport`] (window time series + SLO evaluation).
 
-use pdc_cgm::{Cluster, ProcStats, Wire};
+use pdc_cgm::{Cluster, Histogram, HistogramSpec, ProcStats, Wire};
 use pdc_clouds::DecisionTree;
 use pdc_datagen::{GeneratorConfig, Record, RecordStream};
-use pdc_pario::DiskFarm;
+use pdc_pario::{DiskFarm, Rec};
 
 use crate::model::{CompiledModel, Layout};
 use crate::predictor::Predictor;
+use crate::telemetry::{TelemetryConfig, TelemetryReport, WindowRecorder};
 
 /// Name of the per-rank request shard file on each disk.
 pub const REQUESTS_FILE: &str = "serve_requests";
 
 /// Configuration of one serving run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Which compiled layout to deploy.
     pub layout: Layout,
     /// Records per scoring batch (also the streaming chunk size).
     pub batch_records: usize,
+    /// Bucket layout of the per-rank latency histograms.
+    pub hist: HistogramSpec,
+    /// Optional windowed telemetry (time series + SLO monitors).
+    pub telemetry: Option<TelemetryConfig>,
+    /// Debug/validation flag: also keep every raw latency and report exact
+    /// nearest-rank percentiles in [`ServeReport::latency_exact`]. Off by
+    /// default — the production path is bounded-memory.
+    pub exact_latencies: bool,
+}
+
+impl ServeConfig {
+    /// A serving config with the default latency histogram, no windowed
+    /// telemetry, and no exact-latency validation.
+    pub fn new(layout: Layout, batch_records: usize) -> ServeConfig {
+        ServeConfig {
+            layout,
+            batch_records,
+            hist: HistogramSpec::latency_default(),
+            telemetry: None,
+            exact_latencies: false,
+        }
+    }
+
+    /// Same config with windowed telemetry attached.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> ServeConfig {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Same config with exact-latency validation enabled.
+    pub fn with_exact_latencies(mut self) -> ServeConfig {
+        self.exact_latencies = true;
+        self
+    }
 }
 
 /// Latency percentiles over every batch of every rank, in virtual seconds.
@@ -54,7 +97,24 @@ pub struct LatencySummary {
     pub max: f64,
 }
 
-/// Nearest-rank percentiles of a set of batch latencies.
+impl LatencySummary {
+    /// Percentiles read off a latency [`Histogram`]: each quantile is the
+    /// containing bucket's upper edge, so it overestimates the exact
+    /// nearest-rank answer by at most the spec's relative error;
+    /// `max` is the histogram's exact maximum.
+    pub fn from_histogram(hist: &Histogram) -> LatencySummary {
+        LatencySummary {
+            batches: hist.count() as usize,
+            p50: hist.quantile(0.50),
+            p99: hist.quantile(0.99),
+            p999: hist.quantile(0.999),
+            max: hist.max(),
+        }
+    }
+}
+
+/// Nearest-rank percentiles of a set of batch latencies (the exact,
+/// unbounded-memory path — used for validating the histogram summaries).
 pub fn latency_summary(mut latencies: Vec<f64>) -> LatencySummary {
     latencies.sort_by(f64::total_cmp);
     let pick = |q: f64| -> f64 {
@@ -92,8 +152,16 @@ pub struct ServeReport {
     pub makespan: f64,
     /// Sustained throughput: `records / makespan`.
     pub throughput_rps: f64,
-    /// Batch latency percentiles.
+    /// Batch latency percentiles, derived from [`ServeReport::latency_hist`].
     pub latency: LatencySummary,
+    /// Fleet-level latency histogram: the per-rank histograms merged.
+    pub latency_hist: Histogram,
+    /// Exact nearest-rank percentiles over every raw latency — present
+    /// only when [`ServeConfig::exact_latencies`] was set.
+    pub latency_exact: Option<LatencySummary>,
+    /// Windowed telemetry — present only when [`ServeConfig::telemetry`]
+    /// was set.
+    pub telemetry: Option<TelemetryReport>,
     /// Per-rank predictions, one class byte per request, in shard order —
     /// the bit-identity contract across layouts is checked on these.
     pub predictions: Vec<Vec<u8>>,
@@ -157,11 +225,12 @@ pub fn stage_requests(farm: &DiskFarm, total: u64, config: GeneratorConfig) -> V
 ///     &Cluster::new(2),
 ///     &farm,
 ///     &tree,
-///     &ServeConfig { layout: Layout::Flat, batch_records: 128 },
+///     &ServeConfig::new(Layout::Flat, 128),
 /// );
 /// assert_eq!(report.records, 1_000);
 /// assert!(report.throughput_rps > 0.0);
 /// assert_eq!(report.latency.batches, 8); // 4 batches per rank
+/// assert_eq!(report.latency_hist.count(), 8);
 /// ```
 pub fn serve(
     cluster: &Cluster,
@@ -180,10 +249,14 @@ pub fn serve(
     let model_nodes = model.num_nodes();
     let out = cluster.run(|proc| {
         // Deploy: rank 0 is the model owner; everyone receives a copy.
-        let model: CompiledModel = proc.in_span("serve.deploy", &[], |proc| {
-            let seed = (proc.rank() == 0).then(|| model.clone());
-            proc.broadcast(0, seed)
-        });
+        let model: CompiledModel = proc.in_span(
+            "serve.deploy",
+            &[("bytes", model_bytes as i64)],
+            |proc| {
+                let seed = (proc.rank() == 0).then(|| model.clone());
+                proc.broadcast(0, seed)
+            },
+        );
         let deploy_done = proc.clock();
 
         // Stream + score the local shard.
@@ -193,32 +266,56 @@ pub fn serve(
         let mut reader = disk.reader(&file, cfg.batch_records);
         reader.prime(&mut disk, proc);
         let mut preds = Vec::with_capacity(total);
-        let mut latencies = Vec::new();
+        let mut hist = Histogram::new(cfg.hist);
+        let mut exact = cfg.exact_latencies.then(Vec::new);
+        let mut windows = cfg.telemetry.map(WindowRecorder::new);
         loop {
             let start = proc.clock();
             let Some(batch) = reader.next_chunk(&mut disk, proc) else {
                 break;
             };
-            proc.in_span("serve.score", &[("records", batch.len() as i64)], |proc| {
-                model.score_batch(proc, &batch, &mut preds);
-            });
-            latencies.push(proc.clock() - start);
+            let bytes = (batch.len() * Record::ENCODED_BYTES) as i64;
+            proc.in_span(
+                "serve.score",
+                &[("records", batch.len() as i64), ("bytes", bytes)],
+                |proc| {
+                    model.score_batch(proc, &batch, &mut preds);
+                },
+            );
+            let end = proc.clock();
+            let latency = end - start;
+            hist.record(latency);
+            if let Some(exact) = exact.as_mut() {
+                exact.push(latency);
+            }
+            if let Some(rec) = windows.as_mut() {
+                rec.record_batch(proc, end, batch.len() as u64, latency);
+            }
         }
         disk.sync_engine(proc);
         drop(disk);
+        let windows = windows.map(|rec| rec.finish(proc));
         proc.barrier();
-        (preds, latencies, deploy_done)
+        (preds, hist, exact, windows, deploy_done)
     });
 
     let makespan = out.makespan();
     let mut predictions = Vec::with_capacity(out.results.len());
-    let mut all_latencies = Vec::new();
+    let mut latency_hist = Histogram::new(cfg.hist);
+    let mut all_latencies = cfg.exact_latencies.then(Vec::new);
+    let mut per_rank_windows = cfg.telemetry.map(|_| Vec::new());
     let mut deploy_seconds = 0.0f64;
     let mut records = 0u64;
-    for (preds, lats, deploy) in out.results {
+    for (preds, hist, exact, windows, deploy) in out.results {
         records += preds.len() as u64;
         predictions.push(preds);
-        all_latencies.extend(lats);
+        latency_hist.merge(&hist);
+        if let (Some(all), Some(exact)) = (all_latencies.as_mut(), exact) {
+            all.extend(exact);
+        }
+        if let (Some(per_rank), Some(windows)) = (per_rank_windows.as_mut(), windows) {
+            per_rank.push(windows);
+        }
         deploy_seconds = deploy_seconds.max(deploy);
     }
     ServeReport {
@@ -234,7 +331,13 @@ pub fn serve(
         } else {
             0.0
         },
-        latency: latency_summary(all_latencies),
+        latency: LatencySummary::from_histogram(&latency_hist),
+        latency_hist,
+        latency_exact: all_latencies.map(latency_summary),
+        telemetry: match (cfg.telemetry, per_rank_windows) {
+            (Some(tcfg), Some(per_rank)) => Some(TelemetryReport::from_per_rank(tcfg, per_rank)),
+            _ => None,
+        },
         predictions,
         stats: out.stats,
     }
@@ -305,17 +408,12 @@ mod tests {
         for layout in ALL_LAYOUTS {
             let farm = DiskFarm::in_memory(2);
             stage_requests(&farm, 600, GeneratorConfig::default());
-            let report = serve(
-                &cluster,
-                &farm,
-                &tree,
-                &ServeConfig {
-                    layout,
-                    batch_records: 100,
-                },
-            );
+            let report = serve(&cluster, &farm, &tree, &ServeConfig::new(layout, 100));
             assert_eq!(report.records, 600);
             assert_eq!(report.latency.batches, 6);
+            assert_eq!(report.latency_hist.count(), 6);
+            assert!(report.latency_exact.is_none());
+            assert!(report.telemetry.is_none());
             assert!(report.deploy_seconds > 0.0);
             assert!(report.makespan > report.deploy_seconds);
             assert!(report.latency.p50 <= report.latency.p999);
@@ -337,15 +435,7 @@ mod tests {
         let run = |layout| {
             let farm = DiskFarm::in_memory(2);
             stage_requests(&farm, 2_000, GeneratorConfig::default());
-            serve(
-                &cluster,
-                &farm,
-                &tree,
-                &ServeConfig {
-                    layout,
-                    batch_records: 250,
-                },
-            )
+            serve(&cluster, &farm, &tree, &ServeConfig::new(layout, 250))
         };
         let pointer = run(Layout::Pointer);
         let flat = run(Layout::Flat);
@@ -356,5 +446,59 @@ mod tests {
             pointer.throughput_rps
         );
         assert!(flat.model_bytes < pointer.model_bytes);
+    }
+
+    #[test]
+    fn histogram_percentiles_track_exact_within_relative_error() {
+        let tree = tree();
+        let cluster = Cluster::new(2);
+        let farm = DiskFarm::in_memory(2);
+        stage_requests(&farm, 3_000, GeneratorConfig::default());
+        let cfg = ServeConfig::new(Layout::Flat, 125).with_exact_latencies();
+        let report = serve(&cluster, &farm, &tree, &cfg);
+        let exact = report.latency_exact.expect("exact path was requested");
+        assert_eq!(exact.batches, report.latency.batches);
+        assert_eq!(exact.max, report.latency.max, "max is exact in both");
+        let tol = cfg.hist.rel_error();
+        for (approx, e) in [
+            (report.latency.p50, exact.p50),
+            (report.latency.p99, exact.p99),
+            (report.latency.p999, exact.p999),
+        ] {
+            assert!(
+                approx >= e - 1e-15 && approx <= e * (1.0 + tol) + 1e-15,
+                "histogram {approx} vs exact {e} outside relative error {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_produces_window_series_and_slo() {
+        use crate::telemetry::{SloSpec, TelemetryConfig};
+
+        let tree = tree();
+        let cluster = Cluster::new(2);
+        let farm = DiskFarm::in_memory(2);
+        stage_requests(&farm, 2_000, GeneratorConfig::default());
+        // First pass: measure the run to pick a window that yields
+        // several windows and an SLO threshold above the observed p99.
+        let probe = serve(&cluster, &farm, &tree, &ServeConfig::new(Layout::Flat, 100));
+        let window = (probe.makespan - probe.deploy_seconds) / 8.0;
+        let telemetry = TelemetryConfig::new(window).with_slo(SloSpec::p99(probe.latency.p99 * 2.0));
+        let cfg = ServeConfig::new(Layout::Flat, 100).with_telemetry(telemetry);
+        let report = serve(&cluster, &farm, &tree, &cfg);
+        let t = report.telemetry.expect("telemetry was requested");
+        assert_eq!(t.per_rank.len(), 2);
+        assert!(!t.windows.is_empty());
+        let batches: u64 = t.windows.iter().map(|w| w.batches).sum();
+        assert_eq!(batches, report.latency.batches as u64, "every batch lands in a window");
+        let records: u64 = t.windows.iter().map(|w| w.records).sum();
+        assert_eq!(records, report.records);
+        let slo = t.slo.expect("slo was configured");
+        assert!(slo.compliance == 1.0, "threshold 2x p99 must be met");
+        assert!(!slo.overloaded);
+        // Telemetry observes, never perturbs: same makespan and bits.
+        assert_eq!(report.makespan.to_bits(), probe.makespan.to_bits());
+        assert_eq!(report.predictions, probe.predictions);
     }
 }

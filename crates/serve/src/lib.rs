@@ -50,6 +50,7 @@ pub mod harness;
 pub mod model;
 pub mod predicated;
 pub mod predictor;
+pub mod telemetry;
 
 pub use flat::{FlatNode, FlatTree};
 pub use harness::{
@@ -59,3 +60,7 @@ pub use harness::{
 pub use model::{assert_equivalent, CompiledModel, Layout, ALL_LAYOUTS};
 pub use predicated::{PredNode, PredicatedTree};
 pub use predictor::{PointerPredictor, Predictor};
+pub use telemetry::{
+    evaluate_slo, merge_windows, SloReport, SloSpec, TelemetryConfig, TelemetryReport,
+    WindowRecorder, WindowSlo, WindowStats,
+};

@@ -66,7 +66,7 @@ fn main() {
             &cluster,
             &farm,
             &tree,
-            &ServeConfig { layout, batch_records: 1_024 },
+            &ServeConfig::new(layout, 1_024),
         );
         println!(
             "  {:>10}: {:>9.0} records/s  deploy {:.2} ms  p50 {:.2} ms  p99 {:.2} ms  p999 {:.2} ms",
