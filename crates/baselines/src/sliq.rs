@@ -209,8 +209,8 @@ pub fn build_tree_sliq(records: &[Record], params: &CloudsParams) -> (DecisionTr
 mod tests {
     use super::*;
     use crate::build_tree_direct;
-    use pdc_clouds::accuracy;
-    use pdc_datagen::{generate, train_test_split, ClassifyFn, GeneratorConfig};
+    use pdc_clouds::{accuracy, holdout_pair};
+    use pdc_datagen::{generate, ClassifyFn, GeneratorConfig};
 
     fn params() -> CloudsParams {
         CloudsParams {
@@ -222,8 +222,7 @@ mod tests {
 
     #[test]
     fn sliq_learns_f2() {
-        let records = generate(6_000, GeneratorConfig::default());
-        let (train, test) = train_test_split(records, 0.8);
+        let (train, test) = holdout_pair(ClassifyFn::F2, 4_800, 1_200, 0.0);
         let (tree, stats) = build_tree_sliq(&train, &params());
         let acc = accuracy(&tree, &test);
         assert!(acc > 0.95, "accuracy {acc}");
@@ -235,14 +234,7 @@ mod tests {
     fn sliq_matches_direct_method_accuracy() {
         // Both are exact gini optimizers; depth-first vs breadth-first
         // order does not change per-node decisions.
-        let records = generate(
-            5_000,
-            GeneratorConfig {
-                function: ClassifyFn::F7,
-                ..GeneratorConfig::default()
-            },
-        );
-        let (train, test) = train_test_split(records, 0.8);
+        let (train, test) = holdout_pair(ClassifyFn::F7, 4_000, 1_000, 0.0);
         let (sliq_tree, _) = build_tree_sliq(&train, &params());
         let direct_tree = build_tree_direct(&train, &params());
         let (a, b) = (accuracy(&sliq_tree, &test), accuracy(&direct_tree, &test));

@@ -207,8 +207,8 @@ fn partition(data: &NodeData, splitter: &Splitter, stats: &mut SprintStats) -> (
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdc_clouds::{accuracy, build_tree, SplitMethod};
-    use pdc_datagen::{generate, train_test_split, GeneratorConfig};
+    use pdc_clouds::{accuracy, build_tree, holdout_pair, SplitMethod};
+    use pdc_datagen::{generate, ClassifyFn, GeneratorConfig};
 
     fn params() -> CloudsParams {
         CloudsParams {
@@ -220,8 +220,7 @@ mod tests {
 
     #[test]
     fn sprint_learns_f2() {
-        let records = generate(6_000, GeneratorConfig::default());
-        let (train, test) = train_test_split(records, 0.8);
+        let (train, test) = holdout_pair(ClassifyFn::F2, 4_800, 1_200, 0.0);
         let (tree, stats) = build_tree_sprint(&train, &params());
         let acc = accuracy(&tree, &test);
         assert!(acc > 0.95, "accuracy {acc}");
@@ -266,8 +265,7 @@ mod tests {
 
     #[test]
     fn sprint_and_clouds_sse_have_similar_accuracy() {
-        let records = generate(8_000, GeneratorConfig::default());
-        let (train, test) = train_test_split(records, 0.8);
+        let (train, test) = holdout_pair(ClassifyFn::F2, 6_400, 1_600, 0.0);
         let (sprint_tree, _) = build_tree_sprint(&train, &params());
         let sse_tree = build_tree(
             &train,

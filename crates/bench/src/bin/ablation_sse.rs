@@ -10,8 +10,8 @@
 use pdc_bench::harness::{csv_flag, experiment_config, machine_config, Scale, TableWriter};
 use pdc_bench::summary::BenchSummary;
 use pdc_cgm::Cluster;
-use pdc_clouds::{accuracy, build_tree, mdl_prune, MdlParams, SplitMethod};
-use pdc_datagen::{generate, train_test_split, ClassifyFn, GeneratorConfig};
+use pdc_clouds::{accuracy, build_tree, holdout_pair, mdl_prune, MdlParams, SplitMethod};
+use pdc_datagen::{generate, ClassifyFn, GeneratorConfig};
 use pdc_dnc::Strategy;
 use pdc_pario::DiskFarm;
 use pdc_pclouds::{load_dataset, train};
@@ -29,14 +29,8 @@ fn main() {
         csv,
     );
     for f in [ClassifyFn::F1, ClassifyFn::F2, ClassifyFn::F7] {
-        let records = generate(
-            (n / 4).max(20_000),
-            GeneratorConfig {
-                function: f,
-                ..GeneratorConfig::default()
-            },
-        );
-        let (train_set, test_set) = train_test_split(records, 0.75);
+        let n_quality = (n / 4).max(20_000);
+        let (train_set, test_set) = holdout_pair(f, n_quality * 3 / 4, n_quality / 4, 0.0);
         for method in [SplitMethod::Direct, SplitMethod::SS, SplitMethod::SSE] {
             let cfg = experiment_config(train_set.len() as u64, scale);
             let mut params = cfg.clouds.clone();

@@ -10,8 +10,8 @@
 use pdc_baselines::build_tree_psprint;
 use pdc_bench::harness::{csv_flag, experiment_config, machine_config, Scale, TableWriter};
 use pdc_cgm::Cluster;
-use pdc_clouds::accuracy;
-use pdc_datagen::{generate, GeneratorConfig};
+use pdc_clouds::{accuracy, holdout_pair};
+use pdc_datagen::ClassifyFn;
 use pdc_dnc::Strategy;
 use pdc_pario::DiskFarm;
 use pdc_pclouds::{load_dataset, train};
@@ -22,14 +22,7 @@ fn main() {
     // Parallel SPRINT holds everything in memory; keep the comparison at a
     // size both can run.
     let n = scale.records(1_200_000) as usize;
-    let records = generate(n, GeneratorConfig::default());
-    let test = generate(
-        20_000,
-        GeneratorConfig {
-            seed: 0xfeed,
-            ..GeneratorConfig::default()
-        },
-    );
+    let (records, test) = holdout_pair(ClassifyFn::F2, n, 20_000, 0.0);
     eprintln!("compare_psprint: n={n}");
     let mut table = TableWriter::new(
         &[

@@ -15,8 +15,9 @@
 //!   summaries are already in `results/` (useful locally after a manual
 //!   quick-scale run, and for testing the gate itself).
 //! * `--bins` — comma-separated gated set; default
-//!   `fig_serving,ablation_cache,ablation_comm` (the fastest bins that
-//!   still cover serving, caching, and communication).
+//!   `fig_serving,ablation_cache,ablation_comm,ablation_ensemble` (the
+//!   fastest bins that still cover serving, caching, communication, and
+//!   ensemble scheduling).
 //! * `--tol` — relative band for non-`_exact` metrics (default 0.25).
 //! * `--baselines` — baseline directory (default `results/baselines`).
 //!
@@ -30,7 +31,12 @@ use std::process::Command;
 use pdc_bench::gate::{compare, DEFAULT_REL_TOL};
 use pdc_bench::summary::BenchSummary;
 
-const DEFAULT_BINS: &[&str] = &["fig_serving", "ablation_cache", "ablation_comm"];
+const DEFAULT_BINS: &[&str] = &[
+    "fig_serving",
+    "ablation_cache",
+    "ablation_comm",
+    "ablation_ensemble",
+];
 
 struct Args {
     no_run: bool,

@@ -73,6 +73,59 @@ impl Group {
         let (l, r) = self.members.split_at(left_n);
         (Group::new(l.to_vec()), Group::new(r.to_vec()))
     }
+
+    /// Split the group into `costs.len()` contiguous subgroups whose sizes
+    /// are proportional to the costs, each subgroup getting at least one
+    /// processor. Generalizes [`Group::split_by_cost`] to k ways; the
+    /// ensemble scheduler uses it to carve the machine into one subgroup
+    /// per concurrent tree queue.
+    ///
+    /// Apportionment is largest-remainder over the non-reserved seats with
+    /// ties broken toward the lower index, so the result is deterministic.
+    /// All-zero (or negative-free degenerate) costs split as evenly as
+    /// possible. Panics when `costs` is empty or the group has fewer
+    /// members than costs.
+    pub fn split_k_by_cost(&self, costs: &[f64]) -> Vec<Group> {
+        let k = costs.len();
+        assert!(k >= 1, "split_k_by_cost needs at least one cost");
+        assert!(
+            self.size() >= k,
+            "cannot split {} member(s) into {k} subgroups",
+            self.size()
+        );
+        let total: f64 = costs.iter().sum();
+        let weights: Vec<f64> = if total > 0.0 {
+            costs.iter().map(|c| c.max(0.0) / total).collect()
+        } else {
+            vec![1.0 / k as f64; k]
+        };
+        // Every subgroup is seeded with one member; the remaining seats go
+        // out proportionally, floor first, then by largest remainder.
+        let spare = self.size() - k;
+        let ideal: Vec<f64> = weights.iter().map(|w| w * spare as f64).collect();
+        let mut sizes: Vec<usize> = ideal.iter().map(|x| x.floor() as usize).collect();
+        let mut left = spare - sizes.iter().sum::<usize>();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| {
+            let (fa, fb) = (ideal[a] - ideal[a].floor(), ideal[b] - ideal[b].floor());
+            fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        });
+        for &i in &order {
+            if left == 0 {
+                break;
+            }
+            sizes[i] += 1;
+            left -= 1;
+        }
+        let mut out = Vec::with_capacity(k);
+        let mut at = 0;
+        for s in sizes {
+            let n = 1 + s;
+            out.push(Group::new(self.members[at..at + n].to_vec()));
+            at += n;
+        }
+        out
+    }
 }
 
 impl Proc {

@@ -22,6 +22,7 @@ use crate::cost::{CollectiveTuning, CostModel, OpKind};
 use crate::counters::Counters;
 use crate::fault::{FaultError, FaultPlan, STREAM_DISK_READ, STREAM_LINK_DELAY, STREAM_LINK_DROP};
 use crate::gauge::GaugePoint;
+use crate::group::Group;
 use crate::mailbox::{Mailbox, Message};
 use crate::span::{SpanAttr, SpanRecord, SpanToken, SPAN_DISABLED};
 use crate::trace::{EventKind, TraceEvent};
@@ -70,10 +71,22 @@ pub struct SharedMachine {
     pub collectives: CollectiveTuning,
 }
 
+/// Active communicator scope of one processor (see [`Proc::scoped`]):
+/// while set, the public rank/size accessors and the point-to-point
+/// endpoints present the subgroup as if it were the whole machine.
+struct Scope {
+    /// Global ranks of the subgroup, ascending.
+    members: Vec<usize>,
+    /// This processor's rank within `members`.
+    local: usize,
+}
+
 /// Handle to one virtual processor, passed to the SPMD closure.
 pub struct Proc {
     rank: usize,
     nprocs: usize,
+    /// Active communicator scope, if any (no nesting).
+    scope: Option<Scope>,
     clock: f64,
     shared: Arc<SharedMachine>,
     /// Accounting counters (public so substrates like the I/O layer can
@@ -108,6 +121,7 @@ impl Proc {
         Proc {
             rank,
             nprocs,
+            scope: None,
             clock: 0.0,
             shared,
             counters: Counters::default(),
@@ -122,14 +136,92 @@ impl Proc {
         }
     }
 
-    /// This processor's rank in `0..nprocs`.
+    /// This processor's rank in `0..nprocs`. Inside [`Proc::scoped`] this
+    /// is the **group-local** rank, so SPMD code written against the world
+    /// runs unmodified inside a subgroup.
     pub fn rank(&self) -> usize {
+        match &self.scope {
+            Some(s) => s.local,
+            None => self.rank,
+        }
+    }
+
+    /// This processor's physical (machine-wide) rank, independent of any
+    /// active communicator scope. Fault plans, disks and trace events are
+    /// keyed on this identity.
+    pub fn world_rank(&self) -> usize {
         self.rank
     }
 
-    /// Number of processors in the machine.
-    pub fn nprocs(&self) -> usize {
+    /// The physical machine width, independent of any active scope.
+    pub fn world_nprocs(&self) -> usize {
         self.nprocs
+    }
+
+    /// Run `f` with this processor's communicator scoped to `group`: inside
+    /// the closure [`Proc::rank`] / [`Proc::nprocs`] report group-local
+    /// values and every point-to-point endpoint (hence every collective
+    /// built on them) addresses group-local ranks, translated to physical
+    /// ranks at the wire. Disjoint subgroups communicate independently, so
+    /// concurrent scoped regions on different subgroups never interfere.
+    ///
+    /// SPMD contract: every member of `group` must enter the same scoped
+    /// region; this processor must be a member. Scopes do not nest.
+    ///
+    /// Virtual time, counters, spans, gauges and fault decisions are
+    /// unaffected — a scope over the world group is free and behaviorally
+    /// identical to unscoped execution.
+    pub fn scoped<T>(&mut self, group: &Group, f: impl FnOnce(&mut Proc) -> T) -> T {
+        assert!(
+            self.scope.is_none(),
+            "cgm: nested communicator scopes are not supported"
+        );
+        let local = group.local(self.rank).unwrap_or_else(|| {
+            panic!(
+                "cgm: rank {} entered a scope of a group it is not a member of",
+                self.rank
+            )
+        });
+        self.scope = Some(Scope {
+            members: group.members().to_vec(),
+            local,
+        });
+        let out = f(self);
+        self.scope = None;
+        out
+    }
+
+    /// Physical rank of peer rank `peer` as seen by this processor: under
+    /// an active scope, the global rank of the group-local peer; unscoped,
+    /// the identity. Fault-plan lookups (skews, failed sets) must be keyed
+    /// on physical identities, so scoped schedulers translate through this.
+    pub fn peer_world_rank(&self, peer: usize) -> usize {
+        self.resolve_peer(peer)
+    }
+
+    /// Translate a peer rank through the active scope (identity when
+    /// unscoped). Panics on an out-of-range scoped peer.
+    fn resolve_peer(&self, peer: usize) -> usize {
+        match &self.scope {
+            Some(s) => {
+                assert!(
+                    peer < s.members.len(),
+                    "peer rank {peer} out of scoped group of {}",
+                    s.members.len()
+                );
+                s.members[peer]
+            }
+            None => peer,
+        }
+    }
+
+    /// Number of processors in the machine. Inside [`Proc::scoped`] this is
+    /// the **subgroup** size.
+    pub fn nprocs(&self) -> usize {
+        match &self.scope {
+            Some(s) => s.members.len(),
+            None => self.nprocs,
+        }
     }
 
     /// Current virtual time, seconds.
@@ -606,6 +698,7 @@ impl Proc {
         tag: u32,
         payload: Vec<u8>,
     ) -> Result<(), FaultError> {
+        let dst = self.resolve_peer(dst);
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
         assert_ne!(dst, self.rank, "self-send is not modeled; use local data");
         let cost = self.shared.cost.network.message_cost(payload.len());
@@ -704,6 +797,7 @@ impl Proc {
     /// collectives use this to propagate an upstream failure so every rank
     /// unblocks and surfaces an error. Charges the startup cost `alpha`.
     pub(crate) fn send_poison(&mut self, dst: usize, tag: u32) {
+        let dst = self.resolve_peer(dst);
         let cost = self.shared.cost.network.message_cost(0);
         self.clock += cost;
         self.counters.comm_time += cost;
@@ -734,6 +828,7 @@ impl Proc {
     /// permanently). With an inert fault plan this is exactly the classic
     /// receive and always succeeds.
     pub fn try_recv_bytes(&mut self, src: usize, tag: u32) -> Result<Vec<u8>, FaultError> {
+        let src = self.resolve_peer(src);
         assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
         assert_ne!(src, self.rank, "self-recv is not modeled");
         let msg =

@@ -178,3 +178,121 @@ fn group_collectives_cost_less_than_world() {
     };
     assert!(traffic(true) < traffic(false));
 }
+
+#[test]
+fn split_k_by_cost_is_proportional() {
+    let g = Group::world(12);
+    let parts = g.split_k_by_cost(&[2.0, 1.0, 1.0]);
+    assert_eq!(parts.iter().map(Group::size).collect::<Vec<_>>(), vec![6, 3, 3]);
+    // Partition property: contiguous, disjoint, covering, in order.
+    let flat: Vec<usize> = parts.iter().flat_map(|s| s.members().to_vec()).collect();
+    assert_eq!(flat, (0..12).collect::<Vec<_>>());
+}
+
+#[test]
+fn split_k_by_cost_single_member_group() {
+    let g = Group::new(vec![7]);
+    let parts = g.split_k_by_cost(&[3.5]);
+    assert_eq!(parts.len(), 1);
+    assert_eq!(parts[0].members(), &[7]);
+}
+
+#[test]
+#[should_panic(expected = "at least one cost")]
+fn split_k_by_cost_rejects_empty_costs() {
+    Group::world(4).split_k_by_cost(&[]);
+}
+
+#[test]
+#[should_panic(expected = "cannot split")]
+fn split_k_by_cost_rejects_more_parts_than_members() {
+    Group::world(2).split_k_by_cost(&[1.0, 1.0, 1.0]);
+}
+
+#[test]
+fn split_k_by_cost_degenerate_costs_split_evenly() {
+    let g = Group::world(8);
+    let parts = g.split_k_by_cost(&[0.0, 0.0, 0.0, 0.0]);
+    assert_eq!(parts.iter().map(Group::size).collect::<Vec<_>>(), vec![2, 2, 2, 2]);
+    // Every subgroup keeps at least one member even when one cost dwarfs
+    // the rest.
+    let parts = g.split_k_by_cost(&[1e12, 1.0, 1.0]);
+    assert!(parts.iter().all(|s| s.size() >= 1));
+    assert_eq!(parts.iter().map(Group::size).sum::<usize>(), 8);
+}
+
+#[test]
+fn scoped_collectives_are_confined_to_the_subgroup() {
+    // Two disjoint subgroups run *world-style* collectives concurrently
+    // inside Proc::scoped; each sees only its own members.
+    let cluster = Cluster::new(6);
+    let out = cluster.run(|proc| {
+        let group = if proc.rank() < 4 {
+            Group::new(vec![0, 1, 2, 3])
+        } else {
+            Group::new(vec![4, 5])
+        };
+        proc.scoped(&group, |p| {
+            let local_sum = p.allreduce(p.world_rank() as u64, |a, b| a + b);
+            let gathered = p.all_gather(group.global(p.rank()) as u64);
+            (p.rank(), p.nprocs(), local_sum, gathered)
+        })
+    });
+    for (rank, (local, size, sum, gathered)) in out.results.iter().enumerate() {
+        if rank < 4 {
+            assert_eq!((*local, *size, *sum), (rank, 4, 6));
+            assert_eq!(gathered, &[0, 1, 2, 3]);
+        } else {
+            assert_eq!((*local, *size, *sum), (rank - 4, 2, 9));
+            assert_eq!(gathered, &[4, 5]);
+        }
+    }
+}
+
+#[test]
+fn scoped_world_group_is_identity() {
+    // Scoping to the world group must be free and behaviorally identical.
+    let p = 4;
+    let run = |scope: bool| {
+        let cluster = Cluster::new(p);
+        let out = cluster.run(move |proc| {
+            let body = |p: &mut pdc_cgm::Proc| {
+                let s = p.allreduce(p.rank() as u64 + 1, |a, b| a + b);
+                p.barrier();
+                (p.rank(), s)
+            };
+            if scope {
+                let world = Group::world(proc.nprocs());
+                proc.scoped(&world, body)
+            } else {
+                body(proc)
+            }
+        });
+        (out.results.clone(), out.makespan())
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn scoped_rank_translation_round_trips() {
+    let cluster = Cluster::new(5);
+    let out = cluster.run(|proc| {
+        let group = Group::new(vec![1, 3, 4]);
+        if !group.contains(proc.rank()) {
+            return None;
+        }
+        Some(proc.scoped(&group, |p| {
+            assert_eq!(p.world_nprocs(), 5);
+            assert_eq!(group.global(p.rank()), p.world_rank());
+            // Ring exchange over local ranks exercises the wire translation.
+            let right = (p.rank() + 1) % p.nprocs();
+            let left = (p.rank() + p.nprocs() - 1) % p.nprocs();
+            p.send(right, 7, &(p.world_rank() as u64));
+            let from_left: u64 = p.recv(left, 7);
+            (p.rank(), from_left)
+        }))
+    });
+    assert_eq!(out.results[1], Some((0, 4)));
+    assert_eq!(out.results[3], Some((1, 1)));
+    assert_eq!(out.results[4], Some((2, 3)));
+}

@@ -1,21 +1,59 @@
 //! Classifier quality metrics: accuracy and confusion matrices over a test
-//! set.
+//! set, plus the standard holdout-evaluation protocol shared by the
+//! baselines, the benchmark bins and the ensemble tests.
 
-use pdc_datagen::{Record, NUM_CLASSES};
+use pdc_datagen::{generate, ClassifyFn, GeneratorConfig, Record, NUM_CLASSES};
 
 use crate::tree::DecisionTree;
 
 /// Fraction of `records` the tree classifies correctly (1.0 on an empty
 /// set by convention).
 pub fn accuracy(tree: &DecisionTree, records: &[Record]) -> f64 {
+    accuracy_of(|r| tree.predict(r), records)
+}
+
+/// Fraction of `records` an arbitrary classifier labels correctly (1.0 on
+/// an empty set by convention). Generalizes [`accuracy`] so single trees,
+/// bagged ensembles and compiled serving predictors all share one
+/// definition of holdout accuracy.
+pub fn accuracy_of(mut predict: impl FnMut(&Record) -> u8, records: &[Record]) -> f64 {
     if records.is_empty() {
         return 1.0;
     }
-    let correct = records
-        .iter()
-        .filter(|r| tree.predict(r) == r.class)
-        .count();
+    let correct = records.iter().filter(|r| predict(r) == r.class).count();
     correct as f64 / records.len() as f64
+}
+
+/// Seed offset separating every holdout stream from its training stream.
+const HOLDOUT_SEED_OFFSET: u64 = 0x1e57_5e7;
+
+/// The standard holdout protocol for one SLIQ generator function:
+/// `n_train` training records carrying `noise` label noise, and a disjoint
+/// **noise-free** holdout of `n_test` records drawn from a shifted seed
+/// stream. Evaluating against clean labels measures generalization rather
+/// than memorized noise, which is where bagging's variance reduction shows
+/// up. Deterministic in its arguments.
+pub fn holdout_pair(
+    function: ClassifyFn,
+    n_train: usize,
+    n_test: usize,
+    noise: f64,
+) -> (Vec<Record>, Vec<Record>) {
+    let base = GeneratorConfig {
+        function,
+        noise,
+        ..GeneratorConfig::default()
+    };
+    let train = generate(n_train, base);
+    let holdout = generate(
+        n_test,
+        GeneratorConfig {
+            noise: 0.0,
+            seed: base.seed ^ HOLDOUT_SEED_OFFSET,
+            ..base
+        },
+    );
+    (train, holdout)
 }
 
 /// `confusion[actual][predicted]` counts.

@@ -172,6 +172,40 @@ impl DecisionTree {
         }
     }
 
+    /// Canonical form: the reachable tree renumbered in pre-order (root
+    /// first, left subtree before right). Two trees that test the same
+    /// splits encode to the same bytes in canonical form no matter in what
+    /// order their arenas were grown — grafting small subtrees rank by rank
+    /// numbers nodes differently on different processor counts, so the
+    /// assembled tree is canonicalized to make its encoding invariant to
+    /// the machine (and, for ensembles, to the subgroup width and
+    /// scheduling order a member tree was trained under). Orphaned arena
+    /// entries left behind by pruning or grafting are dropped.
+    pub fn canonical(&self) -> DecisionTree {
+        let mut nodes = Vec::new();
+        self.copy_canonical(self.root(), &mut nodes);
+        DecisionTree { nodes }
+    }
+
+    /// Pre-order copy of the subtree at `id` into `out`; returns the index
+    /// the subtree's root received.
+    fn copy_canonical(&self, id: NodeId, out: &mut Vec<Node>) -> NodeId {
+        let slot = out.len();
+        out.push(self.nodes[id].clone());
+        if let Node::Internal { left, right, .. } = self.nodes[id].clone() {
+            let new_left = self.copy_canonical(left, out);
+            let new_right = self.copy_canonical(right, out);
+            match &mut out[slot] {
+                Node::Internal { left, right, .. } => {
+                    *left = new_left;
+                    *right = new_right;
+                }
+                Node::Leaf { .. } => unreachable!(),
+            }
+        }
+        slot
+    }
+
     /// Maximum root-to-leaf depth (a single leaf has depth 0).
     pub fn depth(&self) -> usize {
         self.depth_of(self.root())

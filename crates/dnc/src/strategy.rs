@@ -268,9 +268,19 @@ fn dispatch_small<P: OocProblem>(
     let owners = match &plan {
         Some(plan) => {
             // Speeds come from the shared fault plan, so every rank derives
-            // the identical schedule without communicating.
+            // the identical schedule without communicating. Ranks are
+            // translated to physical identities: inside a subgroup scope the
+            // schedule indexes group-local ranks, but skew and failure are
+            // properties of the physical processor.
             let speeds: Vec<f64> = (0..proc.nprocs())
-                .map(|r| if plan.is_failed(r) { 0.0 } else { 1.0 / plan.skew_of(r) })
+                .map(|r| {
+                    let phys = proc.peer_world_rank(r);
+                    if plan.is_failed(phys) {
+                        0.0
+                    } else {
+                        1.0 / plan.skew_of(phys)
+                    }
+                })
                 .collect();
             lpt_assign_weighted(&costs, &speeds)
         }
@@ -313,7 +323,7 @@ fn dispatch_small<P: OocProblem>(
                 let elapsed = proc.clock() - before;
                 let seq = (report.local_small_tasks - 1) as u64;
                 let mut attempt = 0u32;
-                while attempt < 16 && plan.task_spoiled(proc.rank(), seq, attempt) {
+                while attempt < 16 && plan.task_spoiled(proc.world_rank(), seq, attempt) {
                     proc.advance_compute(elapsed);
                     report.small_task_retries += 1;
                     attempt += 1;

@@ -1,0 +1,44 @@
+//! Bagged-tree ensemble training on subgroups of the simulated machine.
+//!
+//! The paper's mixed-parallel phase divides processors into subgroups and
+//! assigns subtasks to subgroups by cost; this crate composes that with
+//! task parallelism **across trees**: B bootstrap-resampled trees are
+//! packed onto [`pdc_cgm::Group`] subgroups by an LPT scheduler under a
+//! per-rank memory budget, and each subgroup runs the complete, unmodified
+//! `pclouds` pipeline with its collectives scoped to the subgroup (see
+//! [`pdc_cgm::Proc::scoped`]).
+//!
+//! Three properties are load-bearing and regression-tested:
+//!
+//! * **Split seed streams.** Tree `t` bootstraps its training set from a
+//!   SplitMix64 stream keyed on `seed ⊕ mix(t)` ([`tree_seed`]), so the
+//!   records a tree trains on depend only on the ensemble seed and the
+//!   tree id — never on where or when the scheduler places the tree.
+//! * **Placement-invariant trees.** Combined with the canonical form of
+//!   assembled trees, every member tree's bytes are invariant to the
+//!   subgroup width and the scheduling order.
+//! * **Degenerate identity.** `B = 1` with bootstrap off on the world
+//!   group is byte-identical to plain [`pdc_pclouds::train`].
+//!
+//! Memory-bounded scheduling (after Eyraud-Dubois et al., *Parallel
+//! scheduling of task trees with limited memory*): a tree trained on a
+//! width-`w` subgroup keeps `⌈n/w⌉` records resident per member rank plus
+//! at most one small task's working set; the scheduler only opens as many
+//! concurrent subgroups as keep that prediction within the configured
+//! budget and **queues** the remaining trees instead of co-scheduling
+//! them. Residency is tracked on the existing `dnc.resident_bytes` gauge,
+//! so the measured peak can be checked against the budget after a run.
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod config;
+pub mod model;
+pub mod schedule;
+pub mod trainer;
+
+pub use bootstrap::{bootstrap_sample, tree_seed};
+pub use config::EnsembleConfig;
+pub use model::EnsembleModel;
+pub use schedule::{plan_schedule, predicted_resident_bytes, tree_cost, EnsembleSchedule};
+pub use trainer::{train_ensemble, train_ensemble_on, EnsembleOutput};

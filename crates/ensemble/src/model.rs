@@ -1,0 +1,85 @@
+//! The trained ensemble: an ordered list of member trees with
+//! majority-vote prediction.
+
+use pdc_cgm::wire::{DecodeResult, Wire};
+use pdc_clouds::DecisionTree;
+use pdc_datagen::{Record, NUM_CLASSES};
+
+/// A bagged ensemble of decision trees. Prediction is a majority vote
+/// over the members; ties break toward the lower class id, so the vote is
+/// deterministic for any member order and count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleModel {
+    /// Member trees, indexed by tree id.
+    pub trees: Vec<DecisionTree>,
+}
+
+impl EnsembleModel {
+    /// Majority-vote class of one record.
+    pub fn predict(&self, r: &Record) -> u8 {
+        let mut votes = [0usize; NUM_CLASSES];
+        for t in &self.trees {
+            votes[t.predict(r) as usize] += 1;
+        }
+        majority(&votes)
+    }
+
+    /// Number of member trees.
+    pub fn size(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Winning index of a vote tally, ties toward the lower index.
+pub(crate) fn majority(votes: &[usize; NUM_CLASSES]) -> u8 {
+    let mut best = 0usize;
+    for c in 1..NUM_CLASSES {
+        if votes[c] > votes[best] {
+            best = c;
+        }
+    }
+    best as u8
+}
+
+impl Wire for EnsembleModel {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.trees.encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> DecodeResult<Self> {
+        Ok(EnsembleModel {
+            trees: Vec::<DecisionTree>::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_clouds::DecisionTree;
+    use pdc_datagen::{generate, GeneratorConfig};
+
+    #[test]
+    fn vote_ties_break_low() {
+        // Two constant trees voting for different classes: 1-1 tie → 0.
+        let zero = DecisionTree::single_leaf(vec![5, 1]);
+        let one = DecisionTree::single_leaf(vec![1, 5]);
+        let m = EnsembleModel {
+            trees: vec![zero, one],
+        };
+        let r = generate(1, GeneratorConfig::default())[0];
+        assert_eq!(m.predict(&r), 0);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let m = EnsembleModel {
+            trees: vec![
+                DecisionTree::single_leaf(vec![3, 1]),
+                DecisionTree::single_leaf(vec![0, 9]),
+            ],
+        };
+        let back = EnsembleModel::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(m, back);
+    }
+}

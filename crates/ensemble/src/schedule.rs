@@ -1,0 +1,276 @@
+//! Memory-bounded LPT scheduling of trees onto processor subgroups.
+//!
+//! The scheduler is a pure function of the machine width, the predicted
+//! tree costs, the config and the shared fault plan — every rank derives
+//! the identical schedule without communicating, the same trick the
+//! divide-and-conquer recovery path uses. Placement follows the policy of
+//! Eyraud-Dubois et al. (*Parallel scheduling of task trees with limited
+//! memory*): parallelism is only widened while each open subgroup still
+//! fits one tree's predicted residency in the per-rank budget; everything
+//! else **queues** on the open subgroups rather than co-scheduling.
+
+use pdc_cgm::{FaultPlan, Group};
+use pdc_datagen::Record;
+use pdc_dnc::lpt_assign;
+use pdc_pario::Rec;
+
+use crate::config::EnsembleConfig;
+
+/// Predicted cost of building one tree over `n` records — the same
+/// `n · log₂ n` model the pipeline charges for a root task.
+pub fn tree_cost(n: usize) -> f64 {
+    let n = (n.max(2)) as f64;
+    n * n.log2()
+}
+
+/// Predicted per-rank resident bytes of one tree trained on a width-`w`
+/// subgroup: the rank's round-robin data shard plus at most one
+/// locally-solved small task's working set. This is an upper bound on what
+/// the `dnc.resident_bytes` gauge can reach, because a rank solves small
+/// tasks one at a time.
+pub fn predicted_resident_bytes(n: usize, w: usize, cfg: &EnsembleConfig) -> usize {
+    let shard = n.div_ceil(w.max(1)) * Record::ENCODED_BYTES;
+    let small =
+        cfg.base.small_task_max_records(n as u64) as usize * Record::ENCODED_BYTES;
+    shard + small
+}
+
+/// The complete placement of an ensemble run.
+#[derive(Debug, Clone)]
+pub struct EnsembleSchedule {
+    /// The open subgroups (disjoint; need not cover the machine when a
+    /// fixed width leaves a remainder idle).
+    pub subgroups: Vec<Group>,
+    /// Primary per-subgroup tree queues (LPT order), indexed like
+    /// `subgroups`.
+    pub queues: Vec<Vec<usize>>,
+    /// Recovery queues: trees whose primary subgroup contains a failed
+    /// rank, reassigned to surviving subgroups.
+    pub retrains: Vec<Vec<usize>>,
+    /// Whether each subgroup contains a rank the fault plan marks failed.
+    pub spoiled: Vec<bool>,
+    /// Narrowest width the memory budget admits.
+    pub min_width: usize,
+}
+
+impl EnsembleSchedule {
+    /// The trees subgroup `g` actually executes, in order: its primary
+    /// queue (empty when spoiled) followed by its recovery queue.
+    pub fn execution_queue(&self, g: usize) -> Vec<usize> {
+        let mut q = if self.spoiled[g] {
+            Vec::new()
+        } else {
+            self.queues[g].clone()
+        };
+        q.extend(self.retrains[g].iter().copied());
+        q
+    }
+
+    /// The subgroup that actually trains `tree` (its recovery site when
+    /// the primary site is spoiled).
+    pub fn site_of(&self, tree: usize) -> usize {
+        for (g, r) in self.retrains.iter().enumerate() {
+            if r.contains(&tree) {
+                return g;
+            }
+        }
+        for (g, q) in self.queues.iter().enumerate() {
+            if q.contains(&tree) && !self.spoiled[g] {
+                return g;
+            }
+        }
+        panic!("tree {tree} has no training site");
+    }
+}
+
+/// Plan the placement of `costs.len()` trees over `n` records each on a
+/// `p`-rank machine. Deterministic; see the module docs.
+///
+/// Panics when even a machine-wide subgroup cannot fit one tree in the
+/// memory budget, or when every subgroup contains a failed rank.
+pub fn plan_schedule(
+    p: usize,
+    costs: &[f64],
+    n: usize,
+    cfg: &EnsembleConfig,
+    faults: &FaultPlan,
+) -> EnsembleSchedule {
+    let trees = costs.len();
+    assert!(trees >= 1, "an ensemble needs at least one tree");
+    assert!(p >= 1);
+
+    // Memory bound: the narrowest subgroup width whose predicted per-rank
+    // residency fits the budget.
+    let min_width = (1..=p)
+        .find(|&w| predicted_resident_bytes(n, w, cfg) <= cfg.memory_budget_bytes)
+        .unwrap_or_else(|| {
+            panic!(
+                "memory budget of {} bytes cannot fit one tree even on all {p} ranks \
+                 (predicted {} bytes/rank)",
+                cfg.memory_budget_bytes,
+                predicted_resident_bytes(n, p, cfg)
+            )
+        });
+
+    let world = Group::world(p);
+    let (subgroups, queues) = if cfg.subgroup_width > 0 {
+        // Fixed-width ablation mode: contiguous subgroups of exactly the
+        // requested width (raised to the budget's minimum); a remainder
+        // narrower than the width stays idle.
+        let w = cfg.subgroup_width.max(min_width).min(p);
+        let k = (p / w).clamp(1, trees);
+        let subgroups: Vec<Group> = (0..k)
+            .map(|g| Group::new((g * w..(g + 1) * w).collect()))
+            .collect();
+        let owners = lpt_assign(costs, k);
+        (subgroups, queues_from_owners(&owners, costs, k))
+    } else {
+        // Budget-driven mode: open as many subgroups as the budget and
+        // tree count admit, then shrink until every cost-proportional
+        // subgroup is at least the minimum width (k = 1 always is).
+        let mut k = (p / min_width).clamp(1, trees);
+        loop {
+            let owners = lpt_assign(costs, k);
+            let queues = queues_from_owners(&owners, costs, k);
+            let loads: Vec<f64> = queues
+                .iter()
+                .map(|q| q.iter().map(|&t| costs[t]).sum())
+                .collect();
+            let subgroups = world.split_k_by_cost(&loads);
+            if subgroups.iter().all(|s| s.size() >= min_width) || k == 1 {
+                break (subgroups, queues);
+            }
+            k -= 1;
+        }
+    };
+
+    // Fail-stop recovery, derived identically everywhere from the shared
+    // plan: subgroups containing a failed rank train nothing; their trees
+    // requeue on the surviving subgroups, LPT over current loads.
+    let spoiled: Vec<bool> = subgroups
+        .iter()
+        .map(|s| s.members().iter().any(|&r| faults.is_failed(r)))
+        .collect();
+    let mut retrains = vec![Vec::new(); subgroups.len()];
+    let orphaned: Vec<usize> = {
+        let mut v: Vec<usize> = spoiled
+            .iter()
+            .enumerate()
+            .filter(|(_, &sp)| sp)
+            .flat_map(|(g, _)| queues[g].iter().copied())
+            .collect();
+        v.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap().then(a.cmp(&b)));
+        v
+    };
+    if !orphaned.is_empty() {
+        let survivors: Vec<usize> = (0..subgroups.len()).filter(|&g| !spoiled[g]).collect();
+        assert!(
+            !survivors.is_empty(),
+            "every subgroup contains a failed rank; nothing can recover the ensemble"
+        );
+        let mut load: Vec<f64> = survivors
+            .iter()
+            .map(|&g| queues[g].iter().map(|&t| costs[t]).sum())
+            .collect();
+        for t in orphaned {
+            let (i, _) = load
+                .iter()
+                .enumerate()
+                .min_by(|(a, la), (b, lb)| la.partial_cmp(lb).unwrap().then(a.cmp(b)))
+                .unwrap();
+            retrains[survivors[i]].push(t);
+            load[i] += costs[t];
+        }
+    }
+
+    EnsembleSchedule {
+        subgroups,
+        queues,
+        retrains,
+        spoiled,
+        min_width,
+    }
+}
+
+/// Group an LPT owner vector into per-subgroup queues, each ordered by
+/// decreasing cost (ties to the lower tree id) — the order LPT dispatches.
+fn queues_from_owners(owners: &[usize], costs: &[f64], k: usize) -> Vec<Vec<usize>> {
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut order: Vec<usize> = (0..owners.len()).collect();
+    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap().then(a.cmp(&b)));
+    for t in order {
+        queues[owners[t]].push(t);
+    }
+    queues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EnsembleConfig {
+        EnsembleConfig::paper_scaled(10_000)
+    }
+
+    #[test]
+    fn unbounded_budget_opens_one_subgroup_per_tree() {
+        let costs = vec![tree_cost(10_000); 4];
+        let s = plan_schedule(8, &costs, 10_000, &cfg(), &FaultPlan::default());
+        assert_eq!(s.subgroups.len(), 4);
+        assert_eq!(s.min_width, 1);
+        assert!(s.queues.iter().all(|q| q.len() == 1));
+        let total: usize = s.subgroups.iter().map(Group::size).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn tight_budget_queues_trees_instead_of_co_scheduling() {
+        let mut c = cfg();
+        // Budget fits one tree only when at least 4 ranks share the shard.
+        c.memory_budget_bytes = predicted_resident_bytes(10_000, 4, &c);
+        let costs = vec![tree_cost(10_000); 8];
+        let s = plan_schedule(8, &costs, 10_000, &c, &FaultPlan::default());
+        assert_eq!(s.min_width, 4);
+        assert!(s.subgroups.len() <= 2, "budget admits at most two subgroups");
+        assert!(s.subgroups.iter().all(|g| g.size() >= 4));
+        // All 8 trees still place: the budget forces queueing, not drops.
+        let placed: usize = s.queues.iter().map(Vec::len).sum();
+        assert_eq!(placed, 8);
+        assert!(s.queues.iter().any(|q| q.len() >= 4), "trees queue");
+    }
+
+    #[test]
+    fn fixed_width_mode_builds_exact_widths() {
+        let mut c = cfg();
+        c.subgroup_width = 3;
+        let costs = vec![tree_cost(5_000); 5];
+        let s = plan_schedule(8, &costs, 5_000, &c, &FaultPlan::default());
+        assert_eq!(s.subgroups.len(), 2, "8 / 3 = 2 subgroups, 2 ranks idle");
+        assert!(s.subgroups.iter().all(|g| g.size() == 3));
+    }
+
+    #[test]
+    fn failed_rank_moves_trees_to_survivors() {
+        let mut plan = FaultPlan::default();
+        plan.failed = vec![1];
+        let costs = vec![tree_cost(4_000); 4];
+        let mut c = cfg();
+        c.subgroup_width = 2;
+        let s = plan_schedule(8, &costs, 4_000, &c, &plan);
+        assert_eq!(s.spoiled, vec![true, false, false, false]);
+        assert!(s.execution_queue(0).is_empty());
+        let recovered: usize = s.retrains.iter().map(Vec::len).sum();
+        assert_eq!(recovered, s.queues[0].len());
+        for t in 0..4 {
+            assert!(!s.spoiled[s.site_of(t)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "memory budget")]
+    fn impossible_budget_panics() {
+        let mut c = cfg();
+        c.memory_budget_bytes = 16;
+        plan_schedule(4, &[tree_cost(1_000)], 1_000, &c, &FaultPlan::default());
+    }
+}

@@ -1,0 +1,38 @@
+//! Bagging must earn its keep: on noisy training data evaluated against a
+//! clean holdout, the ensemble beats the single tree on at least 8 of the
+//! 10 SLIQ generator functions.
+
+use pdc_clouds::{accuracy_of, holdout_pair};
+use pdc_datagen::ALL_FUNCTIONS;
+use pdc_ensemble::EnsembleConfig;
+use pdc_pclouds::train_in_memory;
+
+#[test]
+fn ensemble_beats_single_tree_on_most_sliq_functions() {
+    let (n_train, n_test, noise) = (2_000usize, 2_000usize, 0.10f64);
+    let mut wins = 0;
+    let mut report = Vec::new();
+    for (i, f) in ALL_FUNCTIONS.iter().enumerate() {
+        let (train, holdout) = holdout_pair(*f, n_train, n_test, noise);
+        let mut cfg = EnsembleConfig::paper_scaled(n_train as u64);
+        cfg.base.clouds.q_root = 100;
+        cfg.base.clouds.sample_size = 300;
+        cfg.trees = 8;
+        let single = train_in_memory(&train, 4, &cfg.base);
+        let ens = pdc_ensemble::train_ensemble(&train, 8, &cfg);
+        let acc_single = accuracy_of(|r| single.tree.predict(r), &holdout);
+        let acc_ensemble = accuracy_of(|r| ens.model.predict(r), &holdout);
+        if acc_ensemble > acc_single {
+            wins += 1;
+        }
+        report.push(format!(
+            "f{}: single {acc_single:.4}, ensemble {acc_ensemble:.4}",
+            i + 1
+        ));
+    }
+    assert!(
+        wins >= 8,
+        "ensemble won only {wins}/10 functions:\n{}",
+        report.join("\n")
+    );
+}

@@ -1,0 +1,41 @@
+//! The memory budget is respected in measurement, not just in prediction:
+//! with gauges on, every rank's measured `dnc.resident_bytes` peak stays
+//! within the configured per-rank budget.
+
+use pdc_cgm::{Cluster, MachineConfig};
+use pdc_datagen::{generate, GeneratorConfig};
+use pdc_ensemble::{predicted_resident_bytes, train_ensemble_on, EnsembleConfig};
+
+#[test]
+fn measured_peak_resident_bytes_stays_within_budget() {
+    let records = generate(1_500, GeneratorConfig::default());
+    let p = 8;
+    let mut cfg = EnsembleConfig::paper_scaled(records.len() as u64);
+    cfg.base.clouds.q_root = 100;
+    cfg.base.clouds.sample_size = 300;
+    cfg.trees = 6;
+    // A budget tight enough to force width ≥ 2 (so trees queue rather
+    // than spreading one per rank), but feasible.
+    cfg.memory_budget_bytes = predicted_resident_bytes(records.len(), 2, &cfg);
+
+    let mut mc = MachineConfig::default();
+    mc.gauges = true;
+    let out = train_ensemble_on(&Cluster::with_config(p, mc), &records, &cfg);
+
+    assert_eq!(out.schedule.min_width, 2);
+    assert!(out.schedule.subgroups.iter().all(|g| g.size() >= 2));
+
+    let peaks = out.peak_resident_bytes();
+    assert_eq!(peaks.len(), p);
+    assert!(
+        peaks.iter().any(|&b| b > 0.0),
+        "gauges were on; some rank must have recorded residency"
+    );
+    for (rank, &peak) in peaks.iter().enumerate() {
+        assert!(
+            peak <= cfg.memory_budget_bytes as f64,
+            "rank {rank}: measured peak {peak} bytes exceeds budget {}",
+            cfg.memory_budget_bytes
+        );
+    }
+}

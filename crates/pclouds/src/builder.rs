@@ -131,6 +131,46 @@ pub fn train(
     TrainOutput { tree, run, metrics }
 }
 
+/// Group-parameterized training entry point: run the per-rank pCLOUDS
+/// training body **inside a subgroup** of an already-running SPMD closure.
+/// The whole pipeline — histogram reductions, candidate elections, record
+/// redistribution, the divide-and-conquer driver — executes with its
+/// collectives scoped to `group` via [`pdc_cgm::Proc::scoped`], so disjoint
+/// subgroups can train different trees concurrently without interfering.
+///
+/// Unlike [`train`], which owns the cluster, this is called from within
+/// `cluster.run` by **every member of `group`** (SPMD contract). `farm` is a
+/// subgroup-local disk farm whose width equals `group.size()`; data must
+/// have been staged onto it with [`load_dataset`] against the same farm, and
+/// `build` must have been created with `p = group.size()`. Returns this
+/// member's divide-and-conquer report; assemble the tree from `build` after
+/// the run.
+pub fn train_in_group(
+    proc: &mut pdc_cgm::Proc,
+    group: &pdc_cgm::Group,
+    farm: &DiskFarm,
+    build: &SharedBuild,
+    root: &RootInfo,
+    config: &PcloudsConfig,
+    strategy: Strategy,
+) -> DncReport {
+    assert_eq!(
+        group.size(),
+        farm.nprocs(),
+        "subgroup/farm size mismatch"
+    );
+    let n_root = root.n();
+    proc.scoped(group, |p| {
+        let problem = PcloudsProblem {
+            farm,
+            config,
+            build,
+            n_root,
+        };
+        run_problem(p, &problem, root.counts.clone(), strategy)
+    })
+}
+
 fn run_problem(
     proc: &mut pdc_cgm::Proc,
     problem: &PcloudsProblem<'_>,

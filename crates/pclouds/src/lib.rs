@@ -39,7 +39,10 @@ pub mod config;
 pub mod problem;
 pub mod state;
 
-pub use builder::{load_dataset, load_dataset_stream, train, train_in_memory, RootInfo, TrainOutput};
+pub use builder::{
+    load_dataset, load_dataset_stream, train, train_in_group, train_in_memory, RootInfo,
+    TrainOutput,
+};
 pub use comm::{HistMsg, HistPayload};
 pub use config::{BoundaryEval, CommConfig, PcloudsConfig};
 pub use problem::{NodeMeta, OwnedSlice, PcloudsProblem};

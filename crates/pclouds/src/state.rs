@@ -111,7 +111,11 @@ impl SharedBuild {
                 tree.graft(node, subtree);
             }
         }
-        tree
+        // Canonical renumbering: which rank solved which small task (and
+        // hence the graft order) depends on the machine width, but the
+        // splits do not. The canonical form makes the assembled tree's
+        // bytes invariant to the processor count.
+        tree.canonical()
     }
 
     /// Aggregate the per-rank metrics.

@@ -32,7 +32,8 @@ use pdc_clouds::DecisionTree;
 use pdc_datagen::{GeneratorConfig, Record, RecordStream};
 use pdc_pario::{DiskFarm, Rec};
 
-use crate::model::{CompiledModel, Layout};
+use crate::ensemble::EnsemblePredictor;
+use crate::model::Layout;
 use crate::predictor::Predictor;
 use crate::telemetry::{TelemetryConfig, TelemetryReport, WindowRecorder};
 
@@ -238,18 +239,48 @@ pub fn serve(
     tree: &DecisionTree,
     cfg: &ServeConfig,
 ) -> ServeReport {
+    serve_model(cluster, farm, &cfg.layout.compile(tree), cfg)
+}
+
+/// Serve a bagged ensemble: compile every member tree into `cfg.layout`
+/// and run the same pipeline with majority-vote scoring (see
+/// [`EnsemblePredictor`]).
+pub fn serve_ensemble(
+    cluster: &Cluster,
+    farm: &DiskFarm,
+    trees: &[DecisionTree],
+    cfg: &ServeConfig,
+) -> ServeReport {
+    serve_model(
+        cluster,
+        farm,
+        &EnsemblePredictor::compile(trees, cfg.layout),
+        cfg,
+    )
+}
+
+/// The generic serving pipeline behind [`serve`] and [`serve_ensemble`]:
+/// any [`Predictor`] that is also [`Wire`]-encodable (for the broadcast
+/// deploy) and `Clone` (rank 0 seeds the broadcast with a copy) can be
+/// served. `cfg.layout` is carried into the report as the layout the model
+/// was compiled into.
+pub fn serve_model<M: Predictor + Wire + Clone + Sync>(
+    cluster: &Cluster,
+    farm: &DiskFarm,
+    model: &M,
+    cfg: &ServeConfig,
+) -> ServeReport {
     assert!(cfg.batch_records > 0, "batch_records must be positive");
     assert_eq!(
         cluster.nprocs(),
         farm.nprocs(),
         "cluster and farm must have the same number of ranks"
     );
-    let model = cfg.layout.compile(tree);
     let model_bytes = model.to_bytes().len();
     let model_nodes = model.num_nodes();
     let out = cluster.run(|proc| {
         // Deploy: rank 0 is the model owner; everyone receives a copy.
-        let model: CompiledModel = proc.in_span(
+        let model: M = proc.in_span(
             "serve.deploy",
             &[("bytes", model_bytes as i64)],
             |proc| {
@@ -370,6 +401,44 @@ mod tests {
             vec![1, 2],
         );
         t
+    }
+
+    #[test]
+    fn serve_ensemble_votes_like_the_offline_ensemble() {
+        let mut other = DecisionTree::single_leaf(vec![5, 5]);
+        other.split_leaf(
+            0,
+            Splitter::Numeric {
+                attr: 2,
+                threshold: 45.0,
+            },
+            vec![5, 0],
+            vec![0, 5],
+        );
+        let trees = vec![tree(), other.clone(), other];
+        let cluster = Cluster::new(2);
+        let mut reference: Option<Vec<Vec<u8>>> = None;
+        for layout in ALL_LAYOUTS {
+            let farm = DiskFarm::in_memory(2);
+            stage_requests(&farm, 500, GeneratorConfig::default());
+            let report = serve_ensemble(&cluster, &farm, &trees, &ServeConfig::new(layout, 100));
+            assert_eq!(report.records, 500);
+            // The served predictions are exactly the offline majority vote.
+            let offline = EnsemblePredictor::compile(&trees, layout);
+            let mut disk_records = Vec::new();
+            for rank in 0..2 {
+                let mut disk = farm.lock(rank);
+                let f = disk.open::<Record>(REQUESTS_FILE);
+                disk_records.push(disk.read_all_uncharged(&f));
+            }
+            for (rank, shard) in disk_records.iter().enumerate() {
+                assert_eq!(report.predictions[rank], offline.predict_all(shard));
+            }
+            match &reference {
+                None => reference = Some(report.predictions.clone()),
+                Some(want) => assert_eq!(&report.predictions, want, "{}", layout.name()),
+            }
+        }
     }
 
     #[test]

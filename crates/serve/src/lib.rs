@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ensemble;
 pub mod flat;
 pub mod harness;
 pub mod model;
@@ -52,10 +53,11 @@ pub mod predicated;
 pub mod predictor;
 pub mod telemetry;
 
+pub use ensemble::EnsemblePredictor;
 pub use flat::{FlatNode, FlatTree};
 pub use harness::{
-    latency_summary, serve, stage_requests, LatencySummary, ServeConfig, ServeReport,
-    REQUESTS_FILE,
+    latency_summary, serve, serve_ensemble, serve_model, stage_requests, LatencySummary,
+    ServeConfig, ServeReport, REQUESTS_FILE,
 };
 pub use model::{assert_equivalent, CompiledModel, Layout, ALL_LAYOUTS};
 pub use predicated::{PredNode, PredicatedTree};
