@@ -15,9 +15,10 @@
 //!   summaries are already in `results/` (useful locally after a manual
 //!   quick-scale run, and for testing the gate itself).
 //! * `--bins` — comma-separated gated set; default
-//!   `fig_serving,ablation_cache,ablation_comm,ablation_ensemble` (the
-//!   fastest bins that still cover serving, caching, communication, and
-//!   ensemble scheduling).
+//!   `fig_serving,ablation_cache,ablation_comm,ablation_ensemble,`
+//!   `fig1_speedup,ablation_faults` (the fastest bins that still cover
+//!   serving, caching, communication, ensemble scheduling, end-to-end
+//!   speedup, and fault-injection overheads).
 //! * `--tol` — relative band for non-`_exact` metrics (default 0.25).
 //! * `--baselines` — baseline directory (default `results/baselines`).
 //!
@@ -36,6 +37,8 @@ const DEFAULT_BINS: &[&str] = &[
     "ablation_cache",
     "ablation_comm",
     "ablation_ensemble",
+    "fig1_speedup",
+    "ablation_faults",
 ];
 
 struct Args {

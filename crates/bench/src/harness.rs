@@ -80,6 +80,42 @@ pub fn run_pclouds_traced(n: u64, p: usize, scale: Scale, strategy: Strategy) ->
     run_pclouds_on(n, p, scale, strategy, machine)
 }
 
+/// [`run_pclouds`] with span tracing and event-DAG recording enabled (see
+/// [`pdc_cgm::evg`]): the returned stats carry the complete causal event
+/// graph, ready for [`pdc_cgm::EventGraph::from_stats`] and what-if replay
+/// via [`pdc_cgm::replay()`]. Recording is pure observation, so the virtual
+/// times are bit-identical to [`run_pclouds`].
+pub fn run_pclouds_recorded(n: u64, p: usize, scale: Scale, strategy: Strategy) -> TrainOutput {
+    let mut machine = machine_config(scale);
+    machine.spans = true;
+    machine.record = true;
+    run_pclouds_on(n, p, scale, strategy, machine)
+}
+
+/// Fully composed recorded run: the given [`FaultPlan`] and asynchronous
+/// engine, optionally the whole telemetry stack (trace + gauges) on top,
+/// all with the event DAG recorded. Used by the replay identity tests to
+/// prove bit-exact what-if replay for every harness configuration.
+pub fn run_pclouds_recorded_full(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    faults: FaultPlan,
+    engine: &pdc_pario::EngineConfig,
+    telemetry: bool,
+) -> TrainOutput {
+    let mut machine = machine_config(scale);
+    machine.spans = true;
+    machine.record = true;
+    machine.faults = faults;
+    if telemetry {
+        machine.trace = true;
+        machine.gauges = true;
+    }
+    run_pclouds_on_engine(n, p, scale, strategy, machine, engine)
+}
+
 fn run_pclouds_on(
     n: u64,
     p: usize,

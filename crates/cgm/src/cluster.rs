@@ -33,6 +33,12 @@ pub struct MachineConfig {
     /// The default keeps every collective on its single historical schedule,
     /// so runs stay bit-identical with earlier versions.
     pub collectives: CollectiveTuning,
+    /// Record the replayable event DAG (see [`crate::evg`]), enabling
+    /// what-if replay via [`mod@crate::replay`]. Pure observation, like spans
+    /// and gauges: enabling recording never changes a run's virtual times
+    /// or counters. Record with spans on if span-name cost overrides
+    /// should apply during replay.
+    pub record: bool,
 }
 
 impl Default for MachineConfig {
@@ -45,6 +51,7 @@ impl Default for MachineConfig {
             gauges: false,
             faults: FaultPlan::default(),
             collectives: CollectiveTuning::default(),
+            record: false,
         }
     }
 }
@@ -135,6 +142,7 @@ impl Cluster {
             faults: self.config.faults.clone(),
             faults_inert: self.config.faults.is_inert(),
             collectives: self.config.collectives,
+            record: self.config.record,
         });
         let f = &f;
         let mut out: Vec<Option<(T, ProcStats)>> = (0..self.nprocs).map(|_| None).collect();

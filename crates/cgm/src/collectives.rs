@@ -49,6 +49,18 @@ impl Proc {
         (rel + root) % self.nprocs()
     }
 
+    /// Encoded payload size for span attribution. Only computed when spans
+    /// are enabled (the extra encoding is host-side work; virtual time is
+    /// untouched either way); with spans off the attribute is never stored,
+    /// so the placeholder 0 is unobservable.
+    fn attr_bytes<T: Wire>(&self, value: &T) -> i64 {
+        if self.spans_enabled() {
+            value.to_bytes().len() as i64
+        } else {
+            0
+        }
+    }
+
     // ------------------------------------------------------------------
     // Barrier
     // ------------------------------------------------------------------
@@ -163,7 +175,8 @@ impl Proc {
         value: T,
         combine: impl Fn(T, T) -> T,
     ) -> Option<T> {
-        let t = self.span("cgm.reduce", &[("root", root as i64)]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.reduce", &[("root", root as i64), ("bytes", bytes)]);
         let out = self.reduce_inner(root, value, combine);
         self.span_end(t);
         out
@@ -208,7 +221,8 @@ impl Proc {
     /// Uses recursive doubling when `p` is a power of two (cost
     /// `(ts + tw·m)·log p`), otherwise reduce-to-0 followed by broadcast.
     pub fn allreduce<T: Wire>(&mut self, value: T, combine: impl Fn(T, T) -> T) -> T {
-        let t = self.span("cgm.allreduce", &[]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.allreduce", &[("bytes", bytes)]);
         let out = self.allreduce_inner(value, combine);
         self.span_end(t);
         out
@@ -244,7 +258,8 @@ impl Proc {
     /// rank). This is the paper's "min-reduction primitive on the local
     /// minimum gini indices".
     pub fn min_loc(&mut self, value: f64) -> (f64, usize) {
-        let t = self.span("cgm.min_loc", &[]);
+        let bytes = self.attr_bytes(&(value, self.rank() as u64));
+        let t = self.span("cgm.min_loc", &[("bytes", bytes)]);
         let out = self.min_loc_inner(value);
         self.span_end(t);
         out
@@ -279,7 +294,8 @@ impl Proc {
     /// Inclusive prefix combine (Hillis–Steele, any `p`): rank `i` gets
     /// `v_0 (+) v_1 (+) … (+) v_i`. `combine` must be associative.
     pub fn scan<T: Wire + Clone>(&mut self, value: T, combine: impl Fn(T, T) -> T) -> T {
-        let t = self.span("cgm.scan", &[]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.scan", &[("bytes", bytes)]);
         let out = self.scan_inner(value, combine);
         self.span_end(t);
         out
@@ -314,7 +330,8 @@ impl Proc {
         identity: T,
         combine: impl Fn(T, T) -> T,
     ) -> T {
-        let t = self.span("cgm.exscan", &[]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.exscan", &[("bytes", bytes)]);
         let out = self.exscan_inner(value, identity, combine);
         self.span_end(t);
         out
@@ -351,7 +368,8 @@ impl Proc {
     /// All-to-one gather (binomial tree). Returns `Some(values)` on `root`
     /// (indexed by rank), `None` elsewhere.
     pub fn gather<T: Wire>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
-        let t = self.span("cgm.gather", &[("root", root as i64)]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.gather", &[("root", root as i64), ("bytes", bytes)]);
         let out = self.gather_inner(root, value);
         self.span_end(t);
         out
@@ -396,7 +414,8 @@ impl Proc {
     /// indexed by rank. Recursive doubling on power-of-two `p`
     /// (`ts·log p + tw·m·(p-1)`), ring otherwise.
     pub fn all_gather<T: Wire>(&mut self, value: T) -> Vec<T> {
-        let t = self.span("cgm.all_gather", &[]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.all_gather", &[("bytes", bytes)]);
         let out = self.all_gather_inner(value);
         self.span_end(t);
         out
@@ -460,7 +479,8 @@ impl Proc {
     /// keeps picking doubling there (see
     /// [`crate::cost::NetworkParams::ring_all_gather_cost`]).
     pub fn all_gather_ring<T: Wire>(&mut self, value: T) -> Vec<T> {
-        let t = self.span("cgm.all_gather.ring", &[]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.all_gather.ring", &[("bytes", bytes)]);
         let out = self.all_gather_ring_inner(value);
         self.span_end(t);
         out
@@ -549,12 +569,13 @@ impl Proc {
         combine: impl Fn(T, T) -> T,
     ) -> Vec<T> {
         if self.pick_halving_reduce_scatter(approx_bytes) {
-            let t = self.span("cgm.reduce_scatter.halving", &[]);
+            let t =
+                self.span("cgm.reduce_scatter.halving", &[("bytes", approx_bytes as i64)]);
             let out = self.reduce_scatter_halving(blocks, combine);
             self.span_end(t);
             out
         } else {
-            let t = self.span("cgm.reduce_scatter.fanin", &[]);
+            let t = self.span("cgm.reduce_scatter.fanin", &[("bytes", approx_bytes as i64)]);
             let out = self.reduce_scatter_fanin(blocks, combine);
             self.span_end(t);
             out
@@ -659,7 +680,10 @@ impl Proc {
         combine: impl Fn(T, T) -> T,
     ) -> Option<Vec<T>> {
         if self.pick_halving_combine(approx_bytes) {
-            let t = self.span("cgm.reduce.halving", &[("root", root as i64)]);
+            let t = self.span(
+                "cgm.reduce.halving",
+                &[("root", root as i64), ("bytes", approx_bytes as i64)],
+            );
             let my_block = self.reduce_scatter_halving(
                 Self::partition_blocks(values, self.nprocs()),
                 &combine,
@@ -672,7 +696,10 @@ impl Proc {
             self.span_end(t);
             out
         } else {
-            let t = self.span("cgm.reduce.binomial", &[("root", root as i64)]);
+            let t = self.span(
+                "cgm.reduce.binomial",
+                &[("root", root as i64), ("bytes", approx_bytes as i64)],
+            );
             let out = self.reduce_inner(root, values, |a, b| Self::combine_block(a, b, &combine));
             self.span_end(t);
             out
@@ -691,7 +718,7 @@ impl Proc {
         combine: impl Fn(T, T) -> T,
     ) -> Vec<T> {
         if self.pick_halving_combine(approx_bytes) {
-            let t = self.span("cgm.allreduce.rsag", &[]);
+            let t = self.span("cgm.allreduce.rsag", &[("bytes", approx_bytes as i64)]);
             let my_block = self.reduce_scatter_halving(
                 Self::partition_blocks(values, self.nprocs()),
                 &combine,
@@ -701,7 +728,7 @@ impl Proc {
             self.span_end(t);
             out
         } else {
-            let t = self.span("cgm.allreduce.doubling", &[]);
+            let t = self.span("cgm.allreduce.doubling", &[("bytes", approx_bytes as i64)]);
             let out = self.allreduce_inner(values, |a, b| Self::combine_block(a, b, &combine));
             self.span_end(t);
             out
@@ -734,7 +761,8 @@ impl Proc {
     /// result's element `i` is what rank `i` addressed to this rank.
     /// `parts[self.rank()]` is returned in place without transfer cost.
     pub fn all_to_all<T: Wire>(&mut self, parts: Vec<T>) -> Vec<T> {
-        let t = self.span("cgm.all_to_all", &[]);
+        let bytes = self.attr_bytes(&parts);
+        let t = self.span("cgm.all_to_all", &[("bytes", bytes)]);
         let out = self.all_to_all_inner(parts);
         self.span_end(t);
         out
@@ -838,7 +866,13 @@ impl Proc {
         root: usize,
         value: Option<T>,
     ) -> Result<T, FaultError> {
-        let t = self.span("cgm.try_broadcast", &[("root", root as i64)]);
+        let t = match &value {
+            Some(v) => {
+                let bytes = self.attr_bytes(v);
+                self.span("cgm.try_broadcast", &[("root", root as i64), ("bytes", bytes)])
+            }
+            None => self.span("cgm.try_broadcast", &[("root", root as i64)]),
+        };
         let out = self.try_broadcast_inner(root, value);
         self.span_end(t);
         out
@@ -939,7 +973,8 @@ impl Proc {
         value: T,
         combine: impl Fn(T, T) -> T,
     ) -> Result<Option<T>, FaultError> {
-        let t = self.span("cgm.try_reduce", &[("root", root as i64)]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.try_reduce", &[("root", root as i64), ("bytes", bytes)]);
         let out = self.try_reduce_inner(root, value, combine);
         self.span_end(t);
         out
@@ -996,7 +1031,8 @@ impl Proc {
         value: T,
         combine: impl Fn(T, T) -> T,
     ) -> Result<T, FaultError> {
-        let t = self.span("cgm.try_allreduce", &[]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.try_allreduce", &[("bytes", bytes)]);
         let out = self.try_allreduce_inner(value, combine);
         self.span_end(t);
         out
@@ -1072,12 +1108,14 @@ impl Proc {
         combine: impl Fn(T, T) -> T,
     ) -> Result<Vec<T>, FaultError> {
         if self.pick_halving_reduce_scatter(approx_bytes) {
-            let t = self.span("cgm.try_reduce_scatter.halving", &[]);
+            let t = self
+                .span("cgm.try_reduce_scatter.halving", &[("bytes", approx_bytes as i64)]);
             let out = self.try_reduce_scatter_halving(blocks, combine);
             self.span_end(t);
             out
         } else {
-            let t = self.span("cgm.try_reduce_scatter.fanin", &[]);
+            let t =
+                self.span("cgm.try_reduce_scatter.fanin", &[("bytes", approx_bytes as i64)]);
             let out = self.try_reduce_scatter_fanin(blocks, combine);
             self.span_end(t);
             out
@@ -1206,7 +1244,10 @@ impl Proc {
         combine: impl Fn(T, T) -> T,
     ) -> Result<Option<Vec<T>>, FaultError> {
         if self.pick_halving_combine(approx_bytes) {
-            let t = self.span("cgm.try_reduce.halving", &[("root", root as i64)]);
+            let t = self.span(
+                "cgm.try_reduce.halving",
+                &[("root", root as i64), ("bytes", approx_bytes as i64)],
+            );
             let state = self.try_reduce_scatter_halving(
                 Self::partition_blocks(values, self.nprocs()),
                 &combine,
@@ -1215,7 +1256,10 @@ impl Proc {
             self.span_end(t);
             out
         } else {
-            let t = self.span("cgm.try_reduce.binomial", &[("root", root as i64)]);
+            let t = self.span(
+                "cgm.try_reduce.binomial",
+                &[("root", root as i64), ("bytes", approx_bytes as i64)],
+            );
             let out =
                 self.try_reduce_inner(root, values, |a, b| Self::combine_block(a, b, &combine));
             self.span_end(t);
@@ -1290,7 +1334,7 @@ impl Proc {
         combine: impl Fn(T, T) -> T,
     ) -> Result<Vec<T>, FaultError> {
         if self.pick_halving_combine(approx_bytes) {
-            let t = self.span("cgm.try_allreduce.rsag", &[]);
+            let t = self.span("cgm.try_allreduce.rsag", &[("bytes", approx_bytes as i64)]);
             let state = self.try_reduce_scatter_halving(
                 Self::partition_blocks(values, self.nprocs()),
                 &combine,
@@ -1301,7 +1345,7 @@ impl Proc {
             self.span_end(t);
             out
         } else {
-            let t = self.span("cgm.try_allreduce.doubling", &[]);
+            let t = self.span("cgm.try_allreduce.doubling", &[("bytes", approx_bytes as i64)]);
             let out =
                 self.try_allreduce_inner(values, |a, b| Self::combine_block(a, b, &combine));
             self.span_end(t);
@@ -1353,7 +1397,8 @@ impl Proc {
     /// Fault-aware [`Proc::all_gather_ring`]: each round forwards the
     /// previous round's receipt (or poison, once this rank has faulted).
     pub fn try_all_gather_ring<T: Wire>(&mut self, value: T) -> Result<Vec<T>, FaultError> {
-        let t = self.span("cgm.try_all_gather.ring", &[]);
+        let bytes = self.attr_bytes(&value);
+        let t = self.span("cgm.try_all_gather.ring", &[("bytes", bytes)]);
         let out = self.try_all_gather_ring_inner(value);
         self.span_end(t);
         out

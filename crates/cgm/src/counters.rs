@@ -157,6 +157,12 @@ pub struct ProcStats {
     /// [`crate::MachineConfig::gauges`] is set). Resolve into step series
     /// with [`crate::gauge::resolve_series`].
     pub gauges: Vec<crate::gauge::GaugePoint>,
+    /// Replayable event DAG in program order (empty unless
+    /// [`crate::MachineConfig::record`] is set). Assemble across ranks
+    /// with [`crate::evg::EventGraph::from_stats`].
+    pub events: Vec<crate::evg::Ev>,
+    /// Span-name table referenced by [`crate::evg::Ev::Enter`] events.
+    pub event_names: Vec<&'static str>,
 }
 
 impl ProcStats {
@@ -299,6 +305,8 @@ mod tests {
             trace: Vec::new(),
             spans: Vec::new(),
             gauges: Vec::new(),
+            events: Vec::new(),
+            event_names: Vec::new(),
         };
         assert_eq!(stats.idle_time(), 0.0);
     }
@@ -318,6 +326,8 @@ mod tests {
             trace: Vec::new(),
             spans: Vec::new(),
             gauges: Vec::new(),
+            events: Vec::new(),
+            event_names: Vec::new(),
         };
         assert!((stats.idle_time() - 1.0).abs() < 1e-12);
         assert!((stats.fault_time() - 0.5).abs() < 1e-12);
@@ -339,6 +349,8 @@ mod tests {
             trace: Vec::new(),
             spans: Vec::new(),
             gauges: Vec::new(),
+            events: Vec::new(),
+            event_names: Vec::new(),
         };
         assert!((stats.idle_time() - 1.0).abs() < 1e-12);
     }

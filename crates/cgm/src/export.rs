@@ -379,11 +379,16 @@ pub struct CriticalPathReport {
     /// Spans with the least slack (ascending; at most 10). Spans on the
     /// critical path have zero slack.
     pub top_slack: Vec<SpanSlack>,
+    /// Per-class attribution of the critical chain (compute vs comm vs io
+    /// vs fault), yielding the `verdict()` line of [`Self::render`].
+    pub classes: crate::replay::CriticalSummary,
 }
 
 enum Link {
     Send { dst: usize, tag: u32 },
     Recv { src: usize, tag: u32, waited: f64 },
+    IoStall { seconds: f64 },
+    DeviceIo { start: f64, end: f64 },
     Other,
 }
 
@@ -406,6 +411,7 @@ pub fn critical_path(stats: &[ProcStats]) -> CriticalPathReport {
         segments: Vec::new(),
         by_span: Vec::new(),
         top_slack: Vec::new(),
+        classes: crate::replay::CriticalSummary::default(),
     };
 
     // Flatten each rank's trace into events with [start, end] extents.
@@ -425,6 +431,12 @@ pub fn critical_path(stats: &[ProcStats]) -> CriticalPathReport {
                             tag: *tag,
                             waited: *waited,
                         },
+                        EventKind::IoStall { seconds } => {
+                            Link::IoStall { seconds: *seconds }
+                        }
+                        EventKind::DeviceIo { start, end, .. } => {
+                            Link::DeviceIo { start: *start, end: *end }
+                        }
                         _ => Link::Other,
                     };
                     CpEvent {
@@ -466,9 +478,29 @@ pub fn critical_path(stats: &[ProcStats]) -> CriticalPathReport {
         }
     }
 
+    // Per-rank device request timeline, in submission (= service) order:
+    // (trace index, device start, device completion). Used to chase an
+    // exposed stall back through the contiguous device busy chain that
+    // bounded it.
+    let device: Vec<Vec<(usize, f64, f64)>> = events
+        .iter()
+        .map(|evs| {
+            evs.iter()
+                .enumerate()
+                .filter_map(|(i, e)| match e.link {
+                    Link::DeviceIo { start, end } => Some((i, start, end)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
     // Backward walk from the last event of the slowest rank. At a receive
     // that actually waited, the bound is the matching send on the source
-    // rank; otherwise it is the local predecessor.
+    // rank; at an exposed device stall, the bound is the device busy chain
+    // ending at the awaited completion, so the walk resumes at the
+    // submission of that chain's first request; otherwise it is the local
+    // predecessor.
     let Some(start_rank) = stats
         .iter()
         .filter(|s| !s.trace.is_empty())
@@ -485,11 +517,52 @@ pub fn critical_path(stats: &[ProcStats]) -> CriticalPathReport {
         if chain.len() > total_events {
             break; // safety net; the walk is finite by construction
         }
+        // Attribute the event's rank-timeline extent to a resource class
+        // for the verdict line (exposed device stalls count as io: that
+        // time is device service).
+        let kind = &stats[cur.0].trace[cur.1].kind;
+        let extent = kind.extent();
+        match kind {
+            EventKind::Compute { .. } => report.classes.compute += extent,
+            EventKind::Send { .. } | EventKind::Recv { .. } => {
+                report.classes.comm += extent
+            }
+            EventKind::Disk { .. } | EventKind::IoStall { .. } => {
+                report.classes.io += extent
+            }
+            EventKind::Fault { .. } => report.classes.fault += extent,
+            EventKind::DeviceIo { .. } => {}
+        }
         let e = &events[cur.0][cur.1];
         if let Link::Recv { waited, .. } = e.link {
             if waited > 0.0 {
                 if let Some(&send) = recv_match.get(&cur) {
                     cur = send;
+                    continue;
+                }
+            }
+        }
+        if let Link::IoStall { seconds } = e.link {
+            if seconds > 0.0 {
+                // The stall ended exactly at the awaited request's device
+                // completion (the clock jumped to it), so the comparison is
+                // exact. Requests complete in submission order; take the
+                // latest request with that completion and extend backward
+                // while each request started exactly when its predecessor
+                // completed (a contiguous busy period).
+                let devs = &device[cur.0];
+                if let Some(mut k) =
+                    devs.iter().rposition(|&(i, _, end)| i < cur.1 && end == e.end)
+                {
+                    while k > 0 && devs[k].1 == devs[k - 1].2 {
+                        k -= 1;
+                    }
+                    // Device service before the exposed stall began is also
+                    // on the critical path (the walk resumes at the chain's
+                    // submission, skipping the overlapped local events).
+                    report.classes.io +=
+                        ((e.end - seconds) - devs[k].1).max(0.0);
+                    cur = (cur.0, devs[k].0);
                     continue;
                 }
             }
@@ -686,6 +759,10 @@ impl CriticalPathReport {
                     s.rank, s.name, s.slack, s.seconds
                 ));
             }
+        }
+        if !self.segments.is_empty() {
+            out.push_str(&self.classes.render(self.makespan));
+            out.push('\n');
         }
         out
     }

@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod collectives;
 pub mod cost;
 pub mod counters;
+pub mod evg;
 pub mod export;
 pub mod fault;
 pub mod gauge;
@@ -50,6 +51,7 @@ pub mod hist;
 pub mod mailbox;
 pub mod metrics;
 pub mod proc;
+pub mod replay;
 pub mod report;
 pub mod span;
 pub mod topology;
@@ -59,6 +61,7 @@ pub mod wire;
 pub use cluster::{Cluster, MachineConfig, RunOutput};
 pub use cost::{CacheParams, CollectiveTuning, ComputeRates, CostModel, DiskParams, NetworkParams, OpKind};
 pub use counters::{Counters, ProcStats};
+pub use evg::{Breakdown, Ev, EventGraph};
 pub use export::{
     chrome_trace_json, critical_path, gauges_csv, metrics_csv, metrics_jsonl, CriticalPathReport,
 };
@@ -68,6 +71,7 @@ pub use group::Group;
 pub use hist::{Histogram, HistogramSpec};
 pub use metrics::{MetricsRegistry, NameSummary, SpanRow};
 pub use proc::{IoTicket, Proc};
+pub use replay::{identity_check, replay, CostOverride, CriticalSummary, ReplayOutput};
 pub use report::{BuildReport, GaugeStat, Hotspot, LevelReport, NodeReport, RankUtilization};
 pub use span::{SpanAttr, SpanRecord, SpanToken};
 pub use wire::{decode_varint, encode_varint, varint_len, DecodeError, Wire};

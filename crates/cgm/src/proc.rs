@@ -15,11 +15,13 @@
 //! `max(receiver clock, sender clock at send completion)` which yields the
 //! usual `alpha + beta * m` point-to-point model with blocking sends.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cost::{CollectiveTuning, CostModel, OpKind};
 use crate::counters::Counters;
+use crate::evg::{Ev, COMPUTE_RAW, FAULT_DISK, FAULT_LINK};
 use crate::fault::{FaultError, FaultPlan, STREAM_DISK_READ, STREAM_LINK_DELAY, STREAM_LINK_DROP};
 use crate::gauge::GaugePoint;
 use crate::group::Group;
@@ -45,6 +47,11 @@ pub struct IoTicket {
     /// Seconds of device service the request consumed (transfer time plus
     /// any transient-fault retry penalties served on the device).
     pub service: f64,
+    /// Per-rank submission index of the request (its position among this
+    /// rank's submissions). Event-graph recording keys device waits on it;
+    /// derived tickets that share a submission (e.g. per-page prefetch
+    /// shares) must carry the originating submission's index.
+    pub req: u64,
 }
 
 /// Immutable, shared state of one cluster run.
@@ -69,6 +76,10 @@ pub struct SharedMachine {
     pub faults_inert: bool,
     /// Collective-algorithm tuning (see [`CollectiveTuning`]).
     pub collectives: CollectiveTuning,
+    /// Whether processors record the replayable event DAG (see
+    /// [`crate::evg`]). Pure observation: record-on runs stay
+    /// bit-identical to record-off runs.
+    pub record: bool,
 }
 
 /// Active communicator scope of one processor (see [`Proc::scoped`]):
@@ -108,6 +119,16 @@ pub struct Proc {
     /// local I/O device becomes free. Asynchronous requests submitted via
     /// [`Proc::io_device_submit`] serialize on it.
     device_free: f64,
+    /// Count of device submissions so far (the `req` index of the next
+    /// [`IoTicket`]); maintained even when recording is off so tickets are
+    /// identical either way.
+    submit_seq: u64,
+    /// Recorded replayable events (empty unless [`SharedMachine::record`]).
+    events: Vec<Ev>,
+    /// Span-name table referenced by [`Ev::Enter`] events, plus the
+    /// interning map that builds it.
+    ev_names: Vec<&'static str>,
+    ev_name_ids: HashMap<&'static str, u32>,
 }
 
 impl Proc {
@@ -133,6 +154,10 @@ impl Proc {
             link_seq: vec![0; nprocs],
             disk_seq: 0,
             device_free: 0.0,
+            submit_seq: 0,
+            events: Vec::new(),
+            ev_names: Vec::new(),
+            ev_name_ids: HashMap::new(),
         }
     }
 
@@ -269,6 +294,7 @@ impl Proc {
         debug_assert!(seconds >= 0.0, "negative compute charge");
         self.clock += seconds;
         self.counters.compute_time += seconds;
+        self.record_ev(Ev::Compute { kind: COMPUTE_RAW, seconds });
     }
 
     /// Charge `count` operations of `kind`. Straggler skew (see
@@ -279,6 +305,7 @@ impl Proc {
         self.clock += secs;
         self.counters.compute_time += secs;
         self.trace_event(EventKind::Compute { kind, count, seconds: secs });
+        self.record_ev(Ev::Compute { kind: kind.index() as u8, seconds: secs });
     }
 
     fn trace_event(&mut self, kind: EventKind) {
@@ -289,6 +316,20 @@ impl Proc {
                 kind,
             });
         }
+    }
+
+    /// Append one replayable event (pure observation — never reads or
+    /// advances the clock; see [`crate::evg`]).
+    fn record_ev(&mut self, ev: Ev) {
+        if self.shared.record {
+            self.events.push(ev);
+        }
+    }
+
+    /// Whether this run records the replayable event DAG (see
+    /// [`crate::MachineConfig::record`]).
+    pub fn record_enabled(&self) -> bool {
+        self.shared.record
     }
 
     // ------------------------------------------------------------------
@@ -337,6 +378,18 @@ impl Proc {
             delta: self.counters.clone(),
         });
         self.span_stack.push(index);
+        if self.shared.record {
+            let id = match self.ev_name_ids.get(name) {
+                Some(&i) => i,
+                None => {
+                    let i = self.ev_names.len() as u32;
+                    self.ev_names.push(name);
+                    self.ev_name_ids.insert(name, i);
+                    i
+                }
+            };
+            self.events.push(Ev::Enter { name: id });
+        }
         SpanToken { index }
     }
 
@@ -368,6 +421,7 @@ impl Proc {
         let record = &mut self.spans[top as usize];
         record.end = self.clock;
         record.delta = self.counters.delta_since(&record.delta);
+        self.record_ev(Ev::Exit);
     }
 
     /// Run `f` inside a span: open, call, close. Convenience for bodies
@@ -469,6 +523,7 @@ impl Proc {
         self.clock += secs;
         self.counters.compute_time += secs;
         self.trace_event(EventKind::Compute { kind, count, seconds: secs });
+        self.record_ev(Ev::Compute { kind: kind.index() as u8, seconds: secs });
     }
 
     /// Charge one local-disk read request of `bytes`.
@@ -514,6 +569,7 @@ impl Proc {
                 self.counters.fault_time += penalty;
                 self.counters.disk_retries += 1;
                 self.trace_event(EventKind::Fault { kind: "disk-error", seconds: penalty });
+                self.record_ev(Ev::Fault { kind: FAULT_DISK, seconds: penalty });
                 if attempt >= max_retries {
                     return Err(FaultError::Disk { rank: self.rank });
                 }
@@ -521,6 +577,10 @@ impl Proc {
             }
         }
         let secs = self.disk_secs(bytes, working_set_bytes);
+        if self.shared.record {
+            let seek = self.disk_seek_secs(working_set_bytes);
+            self.events.push(Ev::Disk { read: true, bytes: bytes as u64, seconds: secs, seek });
+        }
         self.clock += secs;
         self.counters.io_time += secs;
         self.counters.disk_reads += 1;
@@ -540,6 +600,10 @@ impl Proc {
     /// cache absorbs them).
     pub fn disk_write_ws(&mut self, bytes: usize, working_set_bytes: usize) {
         let secs = self.disk_secs(bytes, working_set_bytes);
+        if self.shared.record {
+            let seek = self.disk_seek_secs(working_set_bytes);
+            self.events.push(Ev::Disk { read: false, bytes: bytes as u64, seconds: secs, seek });
+        }
         self.clock += secs;
         self.counters.io_time += secs;
         self.counters.disk_writes += 1;
@@ -551,6 +615,26 @@ impl Proc {
     /// windows and straggler skew applied when the fault plan is active.
     fn disk_secs(&self, bytes: usize, working_set_bytes: usize) -> f64 {
         let mut secs = self.shared.cost.disk.transfer_cost_ws(bytes, working_set_bytes);
+        if !self.shared.faults_inert {
+            let slowdown = self.shared.faults.disk_slowdown_at(self.clock);
+            if slowdown != 1.0 {
+                secs *= slowdown;
+            }
+            secs = self.scaled(secs);
+        }
+        secs
+    }
+
+    /// Seek/access-latency component of a request priced by [`Proc::disk_secs`]
+    /// at the *current* clock (0 when the working set is cache-resident —
+    /// the cached path has no seek). Observation only, for event recording:
+    /// the decomposition approximates the factored form and never feeds
+    /// back into charging.
+    fn disk_seek_secs(&self, working_set_bytes: usize) -> f64 {
+        if working_set_bytes <= self.shared.cost.disk.cache_bytes {
+            return 0.0;
+        }
+        let mut secs = self.shared.cost.disk.access_latency;
         if !self.shared.faults_inert {
             let slowdown = self.shared.faults.disk_slowdown_at(self.clock);
             if slowdown != 1.0 {
@@ -599,6 +683,12 @@ impl Proc {
         read: bool,
     ) -> Result<IoTicket, FaultError> {
         let mut service = self.disk_secs(bytes, usize::MAX);
+        let seek = if self.shared.record {
+            self.disk_seek_secs(usize::MAX)
+        } else {
+            0.0
+        };
+        let mut fault_secs = 0.0;
         let mut retries: u32 = 0;
         if read && !self.shared.faults_inert && self.shared.faults.disk.read_error_prob > 0.0 {
             let seq = self.disk_seq;
@@ -611,7 +701,9 @@ impl Proc {
                 if !self.shared.faults.decide(&stream, prob) {
                     break;
                 }
-                service += self.scaled(self.shared.faults.disk.retry_penalty);
+                let penalty = self.scaled(self.shared.faults.disk.retry_penalty);
+                service += penalty;
+                fault_secs += penalty;
                 self.counters.disk_retries += 1;
                 retries += 1;
                 if attempt >= max_retries {
@@ -638,7 +730,16 @@ impl Proc {
             self.counters.disk_write_bytes += bytes as u64;
         }
         self.trace_event(EventKind::DeviceIo { read, bytes, start, end: completion, retries });
-        Ok(IoTicket { completion, service })
+        let req = self.submit_seq;
+        self.submit_seq += 1;
+        self.record_ev(Ev::Submit {
+            read,
+            bytes: bytes as u64,
+            service,
+            seek,
+            fault: fault_secs,
+        });
+        Ok(IoTicket { completion, service, req })
     }
 
     /// Block the compute clock until `ticket`'s request has completed on the
@@ -647,6 +748,7 @@ impl Proc {
     /// service that had already run in the background is recorded as
     /// [`crate::Counters::io_overlapped_time`].
     pub fn io_device_wait(&mut self, ticket: IoTicket) {
+        self.record_ev(Ev::Wait { req: ticket.req, service: ticket.service });
         let stall = (ticket.completion - self.clock).max(0.0);
         if stall > 0.0 {
             self.clock += stall;
@@ -661,6 +763,9 @@ impl Proc {
     /// [`crate::Counters::io_stall_time`]. Unlike [`Proc::io_device_wait`]
     /// no overlap is attributed — use per-ticket waits for that.
     pub fn io_device_sync(&mut self) {
+        if self.submit_seq > 0 {
+            self.record_ev(Ev::SyncDev);
+        }
         let stall = (self.device_free - self.clock).max(0.0);
         if stall > 0.0 {
             self.clock += stall;
@@ -716,6 +821,15 @@ impl Proc {
                 bytes: payload.len(),
                 seconds: cost,
             });
+            self.record_ev(Ev::Push {
+                dst: dst as u32,
+                tag,
+                bytes: payload.len() as u64,
+                seconds: cost,
+                lat: self.shared.cost.network.alpha,
+                delay: 0.0,
+                poison: false,
+            });
             self.shared.mailboxes[dst].push(Message {
                 src: self.rank,
                 tag,
@@ -745,8 +859,21 @@ impl Proc {
                 self.clock += penalty;
                 self.counters.fault_time += penalty;
                 self.trace_event(EventKind::Fault { kind: "link-drop", seconds: penalty });
+                self.record_ev(Ev::Fault { kind: FAULT_LINK, seconds: penalty });
                 if attempt >= max_retries {
                     self.counters.link_failures += 1;
+                    // The tombstone costs nothing extra (the penalties
+                    // above already charged the clock): a zero-duration
+                    // push that exists purely to carry the message edge.
+                    self.record_ev(Ev::Push {
+                        dst: dst as u32,
+                        tag,
+                        bytes: 0,
+                        seconds: 0.0,
+                        lat: 0.0,
+                        delay: 0.0,
+                        poison: true,
+                    });
                     self.shared.mailboxes[dst].push(Message {
                         src: self.rank,
                         tag,
@@ -771,17 +898,28 @@ impl Proc {
                 seconds: cost,
             });
             let mut arrive_time = self.clock;
+            let mut delay = 0.0;
             let delay_stream = [STREAM_LINK_DELAY, src_w, dst_w, seq, attempt as u64];
             if self.shared.faults.decide(&delay_stream, delay_prob) {
                 // Delayed in flight: the sender is done, the receiver sees
                 // the message later.
                 arrive_time += delay_seconds;
+                delay = delay_seconds;
                 self.counters.link_delays += 1;
                 self.trace_event(EventKind::Fault {
                     kind: "link-delay",
                     seconds: delay_seconds,
                 });
             }
+            self.record_ev(Ev::Push {
+                dst: dst as u32,
+                tag,
+                bytes: payload.len() as u64,
+                seconds: cost,
+                lat: self.shared.cost.network.alpha,
+                delay,
+                poison: false,
+            });
             self.shared.mailboxes[dst].push(Message {
                 src: self.rank,
                 tag,
@@ -801,6 +939,15 @@ impl Proc {
         let cost = self.shared.cost.network.message_cost(0);
         self.clock += cost;
         self.counters.comm_time += cost;
+        self.record_ev(Ev::Push {
+            dst: dst as u32,
+            tag,
+            bytes: 0,
+            seconds: cost,
+            lat: self.shared.cost.network.alpha,
+            delay: 0.0,
+            poison: true,
+        });
         self.shared.mailboxes[dst].push(Message {
             src: self.rank,
             tag,
@@ -833,6 +980,7 @@ impl Proc {
         assert_ne!(src, self.rank, "self-recv is not modeled");
         let msg =
             self.shared.mailboxes[self.rank].recv(src, tag, self.shared.recv_timeout);
+        self.record_ev(Ev::Recv { src: src as u32, tag });
         let waited = (msg.arrive_time - self.clock).max(0.0);
         if msg.arrive_time > self.clock {
             self.counters.comm_time += msg.arrive_time - self.clock;
@@ -934,6 +1082,8 @@ impl Proc {
             trace: self.trace,
             spans: self.spans,
             gauges: self.gauges,
+            events: self.events,
+            event_names: self.ev_names,
         }
     }
 }

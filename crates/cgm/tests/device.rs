@@ -171,3 +171,41 @@ fn device_timeline_is_deterministic() {
     }
     assert_eq!(a.results, b.results);
 }
+
+#[test]
+fn critical_path_follows_device_busy_chains() {
+    // The makespan is bounded by two back-to-back device requests whose
+    // combined service dwarfs the interleaved compute, so the critical-path
+    // walk must chase the exposed stall through the busy chain back to the
+    // first submission and report the run as io-bound.
+    let cfg = MachineConfig {
+        trace: true,
+        spans: true,
+        ..MachineConfig::default()
+    };
+    let out = Cluster::with_config(1, cfg).run(|proc| {
+        proc.in_span("load", &[], |p| {
+            let a = p.io_device_submit(64 << 20, true);
+            let b = p.io_device_submit(64 << 20, true);
+            p.charge(OpKind::Misc, 1_000);
+            p.io_device_wait(a);
+            p.io_device_wait(b);
+        });
+        proc.charge(OpKind::Misc, 1_000);
+    });
+    let cp = pdc_cgm::critical_path(&out.stats);
+    assert!(cp.classes.io > 0.0, "device stalls must attribute to io");
+    assert_eq!(cp.classes.verdict(), "io-bound");
+    assert!(
+        cp.classes.io > cp.classes.compute,
+        "io {} must dominate compute {}",
+        cp.classes.io,
+        cp.classes.compute
+    );
+    let line = cp.render();
+    assert!(line.contains("verdict: io-bound"), "{line}");
+    // The chain reaches back through the busy period: total attributed
+    // seconds must cover nearly the whole makespan (only the pre-submission
+    // compute may sit outside the stall).
+    assert!(cp.classes.total() > 0.9 * cp.makespan);
+}

@@ -135,6 +135,32 @@ fn collectives_open_their_own_spans() {
 }
 
 #[test]
+fn collective_spans_record_payload_bytes() {
+    let out = Cluster::with_config(4, spans_config()).run(|proc| {
+        let v: u64 = proc.allreduce(1u64, |a, b| a + b);
+        let _ = proc.reduce(0, v, |a, b| a + b);
+        let _ = proc.gather(0, v);
+        let _ = proc.all_gather(v);
+        let _ = proc.scan(v, |a, b| a + b);
+        let _ = proc.min_loc(proc.rank() as f64);
+        let _ = proc.all_to_all(vec![v; proc.nprocs()]);
+        let _ = proc.allreduce_elems(vec![v; 8], 64, |a, b| a + b);
+        let _ = proc.try_allreduce(v, |a, b| a + b);
+    });
+    for s in &out.stats {
+        for sp in &s.spans {
+            // Every collective root span sizes its payload; only the
+            // barrier (no payload) and non-root broadcast sides may omit it.
+            if sp.name.starts_with("cgm.") && !sp.name.contains("barrier") {
+                let bytes = sp.attrs.iter().find(|(k, _)| *k == "bytes");
+                assert!(bytes.is_some(), "span {} lacks a bytes attr", sp.name);
+                assert!(bytes.unwrap().1 > 0, "span {} bytes not positive", sp.name);
+            }
+        }
+    }
+}
+
+#[test]
 fn fault_time_is_separated_from_comm_and_io() {
     let mut plan = FaultPlan::with_seed(11);
     plan.link.drop_prob = 0.2;

@@ -332,6 +332,7 @@ impl IoEngine {
         let share = IoTicket {
             completion: ticket.completion,
             service: ticket.service / npages as f64,
+            req: ticket.req,
         };
         if proc.gauges_enabled() {
             // The prefetched pages are in flight from submission until the
