@@ -10,22 +10,60 @@
 //! p = 16 for the smaller sets.
 //!
 //! `PCLOUDS_SCALE=full` reproduces the paper's sizes; the default is 1/20.
+//!
+//! Sweep overrides, for runs beyond the paper's 16-node SP2:
+//!
+//! * `FIG1_PROCS` — comma-separated processor counts (e.g.
+//!   `FIG1_PROCS=1,64,256`). Large counts want `PDC_BACKEND=event`, which
+//!   multiplexes the ranks on a small worker pool instead of spawning `p`
+//!   free-running OS threads.
+//! * `FIG1_SIZES` — comma-separated paper-scale record counts (scaled by
+//!   `PCLOUDS_SCALE` like the defaults).
+//!
+//! An overridden sweep writes its summary as `fig1_speedup_custom`, so the
+//! checked-in `fig1_speedup` perf-gate baseline (taken on the default
+//! grid) is never clobbered by exploratory runs.
 
 use pdc_bench::harness::{ascii_chart, csv_flag, run_pclouds, Scale, TableWriter};
 use pdc_bench::summary::BenchSummary;
 use pdc_dnc::Strategy;
 
+fn parse_list<T: std::str::FromStr>(var: &str) -> Option<Vec<T>>
+where
+    T::Err: std::fmt::Debug,
+{
+    let raw = std::env::var(var).ok()?;
+    let list: Vec<T> = raw
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("{var}: bad entry {s:?}: {e:?}"))
+        })
+        .collect();
+    assert!(!list.is_empty(), "{var} must name at least one value");
+    Some(list)
+}
+
 fn main() {
     let scale = Scale::from_env();
     let csv = csv_flag();
-    let mut summary = BenchSummary::new("fig1_speedup", scale);
-    let paper_sizes: [u64; 4] = [3_600_000, 4_800_000, 6_000_000, 7_200_000];
-    let procs = [1usize, 2, 4, 8, 16];
+    let procs_override = parse_list::<usize>("FIG1_PROCS");
+    let sizes_override = parse_list::<u64>("FIG1_SIZES");
+    let overridden = procs_override.is_some() || sizes_override.is_some();
+    let bin_name = if overridden { "fig1_speedup_custom" } else { "fig1_speedup" };
+    let mut summary = BenchSummary::new(bin_name, scale);
+    let paper_sizes: Vec<u64> = sizes_override
+        .unwrap_or_else(|| vec![3_600_000, 4_800_000, 6_000_000, 7_200_000]);
+    let procs: Vec<usize> = procs_override.unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
+    for &p in &procs {
+        assert!(p >= 1, "FIG1_PROCS entries must be >= 1");
+    }
 
     eprintln!(
         "fig1_speedup: scale {scale:?} (divisor {}), sizes {:?}",
         scale.divisor(),
-        paper_sizes.map(|s| scale.records(s)),
+        paper_sizes.iter().map(|&s| scale.records(s)).collect::<Vec<_>>(),
     );
 
     let mut table = TableWriter::new(
@@ -33,17 +71,21 @@ fn main() {
         csv,
     );
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
-    for paper_n in paper_sizes {
+    // Speedup is T(base)/T(p) with base = the first processor count in the
+    // sweep (the paper's T(1) on the default grid; an overridden sweep
+    // that omits p=1 reports speedup relative to its smallest p).
+    let p_base = procs[0];
+    for &paper_n in &paper_sizes {
         let n = scale.records(paper_n);
-        let mut t1 = 0.0;
+        let mut t_base = 0.0;
         let mut points = Vec::new();
         for &p in &procs {
             let out = run_pclouds(n, p, scale, Strategy::Mixed);
             let t = out.runtime();
-            if p == 1 {
-                t1 = t;
+            if p == p_base {
+                t_base = t;
             }
-            let speedup = t1 / t;
+            let speedup = t_base / t;
             let mk = paper_n / 100_000; // stable across scales: paper size in 0.1M units
             summary.metric(&format!("runtime_s_n{mk}_p{p}"), t);
             summary.metric(&format!("speedup_n{mk}_p{p}"), speedup);

@@ -8,7 +8,7 @@
 //! merges on it directly.
 //!
 //! ```text
-//! perf_gate [--no-run] [--bins a,b,c] [--tol 0.25] [--baselines DIR]
+//! perf_gate [--no-run] [--bins a,b,c] [--tol 0.25] [--abs-tol 1e-6] [--baselines DIR]
 //! ```
 //!
 //! * `--no-run` — skip re-running the binaries; compare whatever
@@ -20,6 +20,8 @@
 //!   serving, caching, communication, ensemble scheduling, end-to-end
 //!   speedup, and fault-injection overheads).
 //! * `--tol` — relative band for non-`_exact` metrics (default 0.25).
+//! * `--abs-tol` — absolute floor of the band (default 1e-6), so a 0.0
+//!   baseline does not become a bitwise gate; see [`pdc_bench::gate`].
 //! * `--baselines` — baseline directory (default `results/baselines`).
 //!
 //! To re-baseline intentionally: run the gated bins at quick scale, copy
@@ -29,7 +31,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use pdc_bench::gate::{compare, DEFAULT_REL_TOL};
+use pdc_bench::gate::{compare_with, DEFAULT_ABS_TOL, DEFAULT_REL_TOL};
 use pdc_bench::summary::BenchSummary;
 
 const DEFAULT_BINS: &[&str] = &[
@@ -45,6 +47,7 @@ struct Args {
     no_run: bool,
     bins: Vec<String>,
     tol: f64,
+    abs_tol: f64,
     baselines: PathBuf,
 }
 
@@ -53,6 +56,7 @@ fn parse_args() -> Args {
         no_run: false,
         bins: DEFAULT_BINS.iter().map(|s| s.to_string()).collect(),
         tol: DEFAULT_REL_TOL,
+        abs_tol: DEFAULT_ABS_TOL,
         baselines: PathBuf::from("results/baselines"),
     };
     let mut it = std::env::args().skip(1);
@@ -69,6 +73,13 @@ fn parse_args() -> Args {
                     .expect("--tol needs a value")
                     .parse()
                     .expect("--tol must be a number");
+            }
+            "--abs-tol" => {
+                args.abs_tol = it
+                    .next()
+                    .expect("--abs-tol needs a value")
+                    .parse()
+                    .expect("--abs-tol must be a number");
             }
             "--baselines" => {
                 args.baselines = PathBuf::from(it.next().expect("--baselines needs a path"));
@@ -130,7 +141,7 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let v = compare(&baseline, &current, args.tol);
+        let v = compare_with(&baseline, &current, args.tol, args.abs_tol);
         compared += baseline.metrics.len();
         if v.is_empty() {
             eprintln!(

@@ -12,16 +12,29 @@
 //!   must be **bitwise equal** — these carry correctness invariants
 //!   (record counts, identical-prediction flags) where any drift means a
 //!   behavior change, not noise;
-//! * every other metric gets a symmetric relative band:
-//!   `|current − baseline| ≤ tol × max(|baseline|, 1e-12)`. The virtual
-//!   clock is deterministic, so the band absorbs *intentional* cost-model
-//!   retuning, not run-to-run noise; the default `tol` of 0.25 flags any
-//!   quarter-magnitude shift for a human to re-baseline deliberately.
+//! * every other metric gets a symmetric band that is the wider of a
+//!   relative and an absolute tolerance:
+//!   `|current − baseline| ≤ max(rel_tol × |baseline|, abs_tol)`. The
+//!   virtual clock is deterministic, so the band absorbs *intentional*
+//!   cost-model retuning, not run-to-run noise; the default `rel_tol` of
+//!   0.25 flags any quarter-magnitude shift for a human to re-baseline
+//!   deliberately. The absolute floor matters for near-zero baselines: a
+//!   purely relative band around `0.0` has zero width, which silently
+//!   promotes a noisy metric (an idle-time that is 0.0 this release, a
+//!   fault count with no faults configured) to a bitwise-exact gate — any
+//!   future nonzero reading, however tiny, would fail. Metrics that *want*
+//!   bitwise gating must say so with the `_exact` suffix instead.
 
 use crate::summary::BenchSummary;
 
 /// Default relative tolerance for non-exact metrics.
 pub const DEFAULT_REL_TOL: f64 = 0.25;
+
+/// Default absolute-tolerance floor for non-exact metrics: wide enough to
+/// absorb float dust and sub-microsecond virtual-time jitter around a 0.0
+/// baseline, narrow enough that any humanly meaningful drift (a count
+/// reaching 1, a time reaching a millisecond) still trips the gate.
+pub const DEFAULT_ABS_TOL: f64 = 1e-6;
 
 /// Why a metric (or a whole summary) failed the gate.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,11 +106,27 @@ impl Violation {
     }
 }
 
-/// Compare `current` against `baseline`. Returns every violation (empty =
-/// gate passes for this binary). `rel_tol` is the band for non-`_exact`
-/// metrics.
+/// Compare `current` against `baseline` with the default absolute floor
+/// ([`DEFAULT_ABS_TOL`]). Returns every violation (empty = gate passes for
+/// this binary). `rel_tol` is the relative band for non-`_exact` metrics.
 pub fn compare(baseline: &BenchSummary, current: &BenchSummary, rel_tol: f64) -> Vec<Violation> {
-    assert!(rel_tol >= 0.0, "tolerance must be non-negative");
+    compare_with(baseline, current, rel_tol, DEFAULT_ABS_TOL)
+}
+
+/// Compare `current` against `baseline` with explicit relative *and*
+/// absolute tolerances: a non-`_exact` metric passes when
+/// `|current − baseline| ≤ max(rel_tol × |baseline|, abs_tol)`. The
+/// absolute floor keeps a 0.0 baseline from acting as a bitwise gate (see
+/// the module docs); set `abs_tol = 0.0` to recover the purely relative
+/// contract.
+pub fn compare_with(
+    baseline: &BenchSummary,
+    current: &BenchSummary,
+    rel_tol: f64,
+    abs_tol: f64,
+) -> Vec<Violation> {
+    assert!(rel_tol >= 0.0, "relative tolerance must be non-negative");
+    assert!(abs_tol >= 0.0, "absolute tolerance must be non-negative");
     let mut out = Vec::new();
     let summary_level = |kind| Violation {
         bin: baseline.bin.clone(),
@@ -139,7 +168,7 @@ pub fn compare(baseline: &BenchSummary, current: &BenchSummary, rel_tol: f64) ->
                 });
             }
         } else {
-            let allowed = rel_tol * base.abs().max(1e-12);
+            let allowed = (rel_tol * base.abs()).max(abs_tol);
             if (cur - base).abs() > allowed {
                 out.push(Violation {
                     bin: baseline.bin.clone(),
@@ -245,13 +274,52 @@ mod tests {
 
     #[test]
     fn zero_baseline_uses_absolute_floor() {
+        // Regression: the old floor `rel_tol * base.abs().max(1e-12)` gave
+        // a 0.0 baseline a band of width ~1e-13 — effectively bitwise
+        // equality for a metric that never asked for it. The absolute
+        // floor must absorb float dust while still catching real drift.
         let mut b = BenchSummary::new("z", Scale::Quick);
         b.metric("faults", 0.0);
-        let mut ok = BenchSummary::new("z", Scale::Quick);
-        ok.metric("faults", 0.0);
-        assert!(compare(&b, &ok, DEFAULT_REL_TOL).is_empty());
-        let mut bad = BenchSummary::new("z", Scale::Quick);
-        bad.metric("faults", 3.0);
-        assert_eq!(compare(&b, &bad, DEFAULT_REL_TOL).len(), 1);
+        let run = |v: f64| {
+            let mut c = BenchSummary::new("z", Scale::Quick);
+            c.metric("faults", v);
+            c
+        };
+        assert!(compare(&b, &run(0.0), DEFAULT_REL_TOL).is_empty());
+        // Sub-floor noise around a zero baseline passes...
+        assert!(compare(&b, &run(1e-9), DEFAULT_REL_TOL).is_empty());
+        assert!(compare(&b, &run(-1e-9), DEFAULT_REL_TOL).is_empty());
+        // ...but anything a human would call a change still fails.
+        assert_eq!(compare(&b, &run(3.0), DEFAULT_REL_TOL).len(), 1);
+        assert_eq!(compare(&b, &run(0.001), DEFAULT_REL_TOL).len(), 1);
+    }
+
+    #[test]
+    fn absolute_floor_is_tunable_and_zeroable() {
+        let mut b = BenchSummary::new("z", Scale::Quick);
+        b.metric("idle_s", 0.0).metric("big", 1000.0);
+        let mut c = BenchSummary::new("z", Scale::Quick);
+        c.metric("idle_s", 0.4).metric("big", 1100.0);
+        // Wide explicit floor: the 0.4 drift on a zero baseline passes,
+        // and the floor never *narrows* the relative band of big metrics.
+        assert!(compare_with(&b, &c, DEFAULT_REL_TOL, 0.5).is_empty());
+        // abs_tol = 0.0 recovers the strict relative contract: the zero
+        // baseline is exact again.
+        let v = compare_with(&b, &c, DEFAULT_REL_TOL, 0.0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].metric, "idle_s");
+        assert_eq!(v[0].kind, ViolationKind::OutOfBand);
+    }
+
+    #[test]
+    fn exact_suffix_still_bitwise_regardless_of_floor() {
+        // The absolute floor must never soften `_exact` metrics.
+        let mut b = BenchSummary::new("z", Scale::Quick);
+        b.metric("count_exact", 0.0);
+        let mut c = BenchSummary::new("z", Scale::Quick);
+        c.metric("count_exact", 1e-12);
+        let v = compare_with(&b, &c, DEFAULT_REL_TOL, 1.0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::ExactMismatch);
     }
 }

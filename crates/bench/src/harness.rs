@@ -116,7 +116,11 @@ pub fn run_pclouds_recorded_full(
     run_pclouds_on_engine(n, p, scale, strategy, machine, engine)
 }
 
-fn run_pclouds_on(
+/// [`run_pclouds`] on an explicitly configured machine. This is how the
+/// backend-identity suite runs the *same* experiment on both execution
+/// backends ([`pdc_cgm::Backend`]) — everything else in the machine held
+/// fixed — to assert bit-identical outputs.
+pub fn run_pclouds_machine(
     n: u64,
     p: usize,
     scale: Scale,
@@ -124,7 +128,17 @@ fn run_pclouds_on(
     machine: MachineConfig,
 ) -> TrainOutput {
     let engine = pdc_pario::EngineConfig::disabled();
-    run_pclouds_on_engine(n, p, scale, strategy, machine, &engine)
+    run_pclouds_machine_engine(n, p, scale, strategy, machine, &engine)
+}
+
+fn run_pclouds_on(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    machine: MachineConfig,
+) -> TrainOutput {
+    run_pclouds_machine(n, p, scale, strategy, machine)
 }
 
 /// [`run_pclouds_engine`] with the full observability stack on — event
@@ -183,7 +197,9 @@ pub fn run_pclouds_comm(
     run_pclouds_custom(n, p, strategy, machine, &pdc_pario::EngineConfig::disabled(), config)
 }
 
-fn run_pclouds_on_engine(
+/// [`run_pclouds_machine`] with an explicit asynchronous-engine
+/// configuration on the disk farm.
+pub fn run_pclouds_machine_engine(
     n: u64,
     p: usize,
     scale: Scale,
@@ -192,6 +208,17 @@ fn run_pclouds_on_engine(
     engine: &pdc_pario::EngineConfig,
 ) -> TrainOutput {
     run_pclouds_custom(n, p, strategy, machine, engine, experiment_config(n, scale))
+}
+
+fn run_pclouds_on_engine(
+    n: u64,
+    p: usize,
+    scale: Scale,
+    strategy: Strategy,
+    machine: MachineConfig,
+    engine: &pdc_pario::EngineConfig,
+) -> TrainOutput {
+    run_pclouds_machine_engine(n, p, scale, strategy, machine, engine)
 }
 
 fn run_pclouds_custom(
@@ -281,8 +308,16 @@ pub fn run_pclouds_faulty_engine(
 /// cache, per-node disk buffer cache) shrink with the workload so the
 /// cache-crossover processor counts — the source of the paper's superlinear
 /// speedups — land at the same p as at full scale.
+///
+/// The execution backend is read from `PDC_BACKEND`
+/// ([`pdc_cgm::Backend::from_env`]): `PDC_BACKEND=event` flips every
+/// machine a harness builds onto the event-driven executor — outputs are
+/// bit-identical (the backend-identity suite asserts it), so figures and
+/// perf-gate baselines are backend-independent; the thread backend stays
+/// the baseline of record.
 pub fn machine_config(scale: Scale) -> MachineConfig {
     let mut cfg = MachineConfig::default();
+    cfg.backend = pdc_cgm::Backend::from_env();
     let div = scale.divisor() as usize;
     cfg.cost.disk.cache_bytes = (cfg.cost.disk.cache_bytes / div).max(64 * 1024);
     cfg.cost.cache.capacity_bytes = (cfg.cost.cache.capacity_bytes / div).max(16 * 1024);

@@ -31,7 +31,11 @@
 //! Values below `min` are clamped into an underflow bucket (reported as
 //! `min`), values above `max` into an overflow bucket (reported as the
 //! exact observed maximum); the relative-error bound applies to values
-//! inside `[min, max]`.
+//! inside `[min, max]`. A spec may set `min = 0.0` — zero-duration
+//! samples are routine in a virtual-time system (a cache hit costs zero
+//! seconds) — in which case the geometric layout starts at
+//! [`HistogramSpec::layout_min`] and everything at or below it (including
+//! exact zeros) clamps into underflow, reported as `0.0`.
 //!
 //! ```
 //! use pdc_cgm::hist::{Histogram, HistogramSpec};
@@ -60,7 +64,11 @@ use crate::wire::{decode_varint, encode_varint, DecodeError, DecodeResult, Wire}
 pub struct HistogramSpec {
     /// Smallest trackable value (exclusive lower edge of the first
     /// bucket); values below clamp into the underflow bucket. Must be
-    /// positive.
+    /// non-negative. `min == 0.0` is allowed — zero-duration samples are
+    /// routine (a cache hit served in zero virtual time) — and makes the
+    /// underflow bucket report exactly `0.0`; the geometric layout then
+    /// starts at a tiny positive [`HistogramSpec::layout_min`] because a
+    /// geometric progression cannot start at zero.
     pub min: f64,
     /// Largest trackable value; values above clamp into the overflow
     /// bucket. Must exceed `min`.
@@ -73,7 +81,7 @@ pub struct HistogramSpec {
 impl HistogramSpec {
     /// Build a spec, validating the range and resolution.
     pub fn new(min: f64, max: f64, sig_figs: u8) -> HistogramSpec {
-        assert!(min > 0.0 && min.is_finite(), "min must be positive");
+        assert!(min >= 0.0 && min.is_finite(), "min must be non-negative");
         assert!(max > min && max.is_finite(), "max must exceed min");
         assert!(
             (1..=5).contains(&sig_figs),
@@ -100,13 +108,26 @@ impl HistogramSpec {
         10f64.powi(-i32::from(self.sig_figs))
     }
 
-    /// Upper bucket edges `min·g, min·g², …`, the last edge ≥ `max`.
-    /// Computed by repeated multiplication — deterministic for a given
-    /// spec, identical on every rank.
+    /// Where the geometric bucket layout actually starts: `min` itself
+    /// when positive, else (for `min == 0.0`) nine decades below `max` —
+    /// a geometric progression cannot start at zero, so zero-min specs
+    /// treat everything at or below this threshold as underflow (reported
+    /// as exactly `0.0` by quantile queries).
+    pub fn layout_min(&self) -> f64 {
+        if self.min > 0.0 {
+            self.min
+        } else {
+            self.max * 1e-9
+        }
+    }
+
+    /// Upper bucket edges `m·g, m·g², …` for `m = layout_min()`, the last
+    /// edge ≥ `max`. Computed by repeated multiplication — deterministic
+    /// for a given spec, identical on every rank.
     fn edges(&self) -> Vec<f64> {
         let g = self.growth();
         let mut edges = Vec::new();
-        let mut edge = self.min;
+        let mut edge = self.layout_min();
         while edge < self.max {
             edge *= g;
             edges.push(edge);
@@ -125,7 +146,7 @@ impl Wire for HistogramSpec {
         let min = f64::decode(buf)?;
         let max = f64::decode(buf)?;
         let sig_figs = u8::decode(buf)?;
-        if !(min > 0.0 && min.is_finite() && max > min && max.is_finite())
+        if !(min >= 0.0 && min.is_finite() && max > min && max.is_finite())
             || !(1..=5).contains(&sig_figs)
         {
             return Err(DecodeError {
@@ -143,7 +164,8 @@ impl Wire for HistogramSpec {
 pub struct Histogram {
     spec: HistogramSpec,
     /// Upper bucket edges; bucket `i` covers `(edges[i-1], edges[i]]`
-    /// (bucket 0 covers `(min, edges[0]]`, with `v ≤ min` in underflow).
+    /// (bucket 0 covers `(layout_min, edges[0]]`, with `v ≤ layout_min`
+    /// in underflow).
     edges: Vec<f64>,
     counts: Vec<u64>,
     underflow: u64,
@@ -193,7 +215,7 @@ impl Histogram {
         }
         self.min_seen = self.min_seen.min(value);
         self.max_seen = self.max_seen.max(value);
-        if value <= self.spec.min {
+        if value <= self.spec.layout_min() {
             self.underflow += n;
         } else if value > self.spec.max {
             self.overflow += n;
@@ -471,6 +493,66 @@ mod tests {
         // Coarser resolution → far fewer buckets.
         let coarse = Histogram::new(HistogramSpec::new(1e-6, 60.0, 1));
         assert!(coarse.num_buckets() < h.num_buckets() / 5);
+    }
+
+    #[test]
+    fn zero_min_spec_accepts_zero_durations() {
+        // Regression: HistogramSpec::new(0.0, ..) used to assert
+        // "min must be positive", so any telemetry stream containing a
+        // zero-duration sample (cache hits cost zero virtual seconds)
+        // could not even build its histogram. Zero now rides the
+        // underflow bucket and reports exactly 0.0.
+        let s = HistogramSpec::new(0.0, 60.0, 2);
+        assert!(s.layout_min() > 0.0, "geometric layout needs a positive start");
+        let mut h = Histogram::new(s);
+        h.record(0.0);
+        h.record(0.0);
+        h.record(1e-15); // below layout_min: also underflow
+        h.record(0.5);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.25), 0.0, "underflow reports the spec min of 0.0");
+        assert_eq!(h.quantile(0.5), 0.0);
+        let p100 = h.quantile(1.0);
+        assert!((p100 - 0.5).abs() <= 0.5 * s.rel_error() + 1e-12, "{p100}");
+        assert_eq!(h.min(), 0.0, "exact min survives");
+    }
+
+    #[test]
+    fn zero_min_histograms_keep_merge_laws_and_wire_roundtrip() {
+        let s = HistogramSpec::new(0.0, 60.0, 2);
+        let mut all = Histogram::new(s);
+        let mut a = Histogram::new(s);
+        let mut b = Histogram::new(s);
+        for i in 0..1000u64 {
+            let v = if i % 5 == 0 { 0.0 } else { i as f64 * 1e-3 };
+            all.record(v);
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all, "merge must be exactly the union with zeros present");
+        let back = Histogram::from_bytes(&all.to_bytes()).expect("zero-min wire roundtrip");
+        assert_eq!(back, all);
+    }
+
+    #[test]
+    fn positive_min_layout_is_unchanged() {
+        // layout_min == min for every positive-min spec, so existing
+        // histograms keep their exact bucket boundaries.
+        let s = spec();
+        assert_eq!(s.layout_min(), s.min);
+        let h = Histogram::new(s);
+        let expected = ((s.max / s.min).ln() / s.growth().ln()).ceil();
+        assert!((h.num_buckets() as f64 - expected).abs() <= 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must be non-negative")]
+    fn negative_min_still_rejected() {
+        HistogramSpec::new(-1.0, 60.0, 2);
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! communication is modeled as `O(alpha + beta * m)` on a cut-through routed
 //! network. This crate reproduces that machine in software:
 //!
-//! * [`Cluster`] spawns `p` **virtual processors** (one OS thread each) and
-//!   runs an SPMD closure on every rank, exactly like `mpirun`.
+//! * [`Cluster`] runs an SPMD closure on `p` **virtual processors**,
+//!   exactly like `mpirun`, on one of two execution backends (see
+//!   [`exec`]): free-running thread-per-rank, or the event-driven executor
+//!   that multiplexes rank tasks on a small admission pool — required for
+//!   large sweeps (`p` in the hundreds to thousands) and the only backend
+//!   with structural (non-wall-clock) deadlock detection.
 //! * [`Proc`] is a rank's handle: typed point-to-point [`Proc::send`] /
 //!   [`Proc::recv`] plus the full set of collectives the paper uses
 //!   (broadcast, global combine, all-to-all broadcast, gather, prefix sum,
@@ -43,6 +47,7 @@ pub mod collectives;
 pub mod cost;
 pub mod counters;
 pub mod evg;
+pub mod exec;
 pub mod export;
 pub mod fault;
 pub mod gauge;
@@ -59,6 +64,7 @@ pub mod trace;
 pub mod wire;
 
 pub use cluster::{Cluster, MachineConfig, RunOutput};
+pub use exec::Backend;
 pub use cost::{CacheParams, CollectiveTuning, ComputeRates, CostModel, DiskParams, NetworkParams, OpKind};
 pub use counters::{Counters, ProcStats};
 pub use evg::{Breakdown, Ev, EventGraph};

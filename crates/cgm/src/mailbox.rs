@@ -48,27 +48,37 @@ impl Mailbox {
         self.cond.notify_all();
     }
 
+    /// Non-blocking receive: remove and return the earliest message from
+    /// `src` with `tag`, if one is queued.
+    pub fn try_recv(&self, src: usize, tag: u32) -> Option<Message> {
+        let mut q = self.queue.lock();
+        q.iter()
+            .position(|m| m.src == src && m.tag == tag)
+            .map(|pos| q.remove(pos))
+    }
+
     /// Block until a message from `src` with `tag` is available and return
-    /// the earliest one. Panics after `timeout` with a diagnostic — in a
-    /// correct SPMD program this only happens on a real deadlock.
-    pub fn recv(&self, src: usize, tag: u32, timeout: Duration) -> Message {
+    /// the earliest one, or `None` once a wait lasts `timeout` with no
+    /// match — the caller (the thread backend's receive path) turns that
+    /// into a deadlock diagnostic naming every blocked rank. In a correct
+    /// SPMD program on a healthy host the timeout never fires.
+    pub fn recv_timeout(&self, src: usize, tag: u32, timeout: Duration) -> Option<Message> {
         let mut q = self.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                return q.remove(pos);
+                return Some(q.remove(pos));
             }
             let timed_out = self.cond.wait_for(&mut q, timeout).timed_out();
             if timed_out && !q.iter().any(|m| m.src == src && m.tag == tag) {
-                panic!(
-                    "cgm: receive timed out waiting for message src={} tag={:#x}; \
-                     {} unmatched message(s) pending: {:?}",
-                    src,
-                    tag,
-                    q.len(),
-                    q.iter().map(|m| (m.src, m.tag)).collect::<Vec<_>>()
-                );
+                return None;
             }
         }
+    }
+
+    /// `(src, tag)` of every queued message, in arrival order
+    /// (diagnostics).
+    pub fn pending(&self) -> Vec<(usize, u32)> {
+        self.queue.lock().iter().map(|m| (m.src, m.tag)).collect()
     }
 
     /// Non-blocking probe: is a matching message available?
@@ -110,8 +120,8 @@ mod tests {
         let mb = Mailbox::new();
         mb.push(msg(1, 7, 10));
         mb.push(msg(1, 7, 20));
-        assert_eq!(mb.recv(1, 7, T).payload, vec![10]);
-        assert_eq!(mb.recv(1, 7, T).payload, vec![20]);
+        assert_eq!(mb.recv_timeout(1, 7, T).unwrap().payload, vec![10]);
+        assert_eq!(mb.recv_timeout(1, 7, T).unwrap().payload, vec![20]);
         assert!(mb.is_empty());
     }
 
@@ -121,27 +131,38 @@ mod tests {
         mb.push(msg(2, 7, 1));
         mb.push(msg(1, 8, 2));
         mb.push(msg(1, 7, 3));
-        assert_eq!(mb.recv(1, 7, T).payload, vec![3]);
+        assert_eq!(mb.recv_timeout(1, 7, T).unwrap().payload, vec![3]);
         assert_eq!(mb.len(), 2);
         assert!(mb.probe(2, 7));
         assert!(mb.probe(1, 8));
         assert!(!mb.probe(1, 7));
+        assert_eq!(mb.pending(), vec![(2, 7), (1, 8)]);
+    }
+
+    #[test]
+    fn try_recv_takes_earliest_match_or_none() {
+        let mb = Mailbox::new();
+        assert!(mb.try_recv(1, 7).is_none());
+        mb.push(msg(1, 7, 10));
+        mb.push(msg(1, 7, 20));
+        assert_eq!(mb.try_recv(1, 7).unwrap().payload, vec![10]);
+        assert_eq!(mb.try_recv(1, 7).unwrap().payload, vec![20]);
+        assert!(mb.try_recv(1, 7).is_none());
     }
 
     #[test]
     fn recv_blocks_until_push() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
-        let handle = std::thread::spawn(move || mb2.recv(0, 1, T));
+        let handle = std::thread::spawn(move || mb2.recv_timeout(0, 1, T));
         std::thread::sleep(Duration::from_millis(20));
         mb.push(msg(0, 1, 42));
-        assert_eq!(handle.join().unwrap().payload, vec![42]);
+        assert_eq!(handle.join().unwrap().unwrap().payload, vec![42]);
     }
 
     #[test]
-    #[should_panic(expected = "receive timed out")]
-    fn recv_timeout_panics() {
+    fn recv_timeout_returns_none() {
         let mb = Mailbox::new();
-        mb.recv(0, 1, Duration::from_millis(20));
+        assert!(mb.recv_timeout(0, 1, Duration::from_millis(20)).is_none());
     }
 }

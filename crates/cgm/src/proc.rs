@@ -17,11 +17,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
 
 use crate::cost::{CollectiveTuning, CostModel, OpKind};
 use crate::counters::Counters;
 use crate::evg::{Ev, COMPUTE_RAW, FAULT_DISK, FAULT_LINK};
+use crate::exec::ExecMode;
 use crate::fault::{FaultError, FaultPlan, STREAM_DISK_READ, STREAM_LINK_DELAY, STREAM_LINK_DROP};
 use crate::gauge::GaugePoint;
 use crate::group::Group;
@@ -60,8 +60,10 @@ pub struct SharedMachine {
     pub cost: CostModel,
     /// One mailbox per processor.
     pub mailboxes: Vec<Mailbox>,
-    /// Real-time receive timeout (deadlock detector).
-    pub recv_timeout: Duration,
+    /// Execution machinery of this run (see [`crate::exec`]): the thread
+    /// backend's wall-clock deadlock detector, or the event backend's
+    /// scheduler.
+    pub(crate) exec: ExecMode,
     /// Whether processors record event traces.
     pub trace: bool,
     /// Whether processors record spans (see [`crate::span`]).
@@ -778,6 +780,77 @@ impl Proc {
     // Point-to-point communication
     // ------------------------------------------------------------------
 
+    /// Deliver `msg` into physical rank `dst`'s mailbox and, on the event
+    /// backend, tell the scheduler so a receiver parked on this match is
+    /// re-admitted. Every push — payload, delayed payload, poison
+    /// tombstone — goes through here.
+    fn deliver(&self, dst: usize, msg: Message) {
+        let (src, tag) = (msg.src, msg.tag);
+        self.shared.mailboxes[dst].push(msg);
+        if let ExecMode::Event { sched } = &self.shared.exec {
+            sched.notify_push(dst, src, tag);
+        }
+    }
+
+    /// Block until a message matching `(src, tag)` is in this rank's
+    /// mailbox and take it. This is the **only** operation that can
+    /// physically block on another rank (barriers, collectives and waits
+    /// are all built on it); how the block is realized — and how a
+    /// deadlock is detected — is the execution backend's job (see
+    /// [`crate::exec`]).
+    fn blocking_recv(&self, src: usize, tag: u32) -> Message {
+        let mailbox = &self.shared.mailboxes[self.rank];
+        match &self.shared.exec {
+            ExecMode::Event { sched } => loop {
+                if let Some(msg) = mailbox.try_recv(src, tag) {
+                    return msg;
+                }
+                // Hand the run slot back and park; a matching push (or a
+                // pending signal that raced with us) resumes the task.
+                // Structural deadlock detection panics from inside.
+                sched.block(self.rank, src, tag);
+            },
+            ExecMode::Thread { timeout, board } => {
+                if let Some(msg) = mailbox.try_recv(src, tag) {
+                    return msg;
+                }
+                board.enter(self.rank, src, tag);
+                let got = mailbox.recv_timeout(src, tag, *timeout);
+                board.exit(self.rank);
+                match got {
+                    Some(msg) => msg,
+                    None => {
+                        let mut blocked = board.blocked_now();
+                        blocked.push((self.rank, src, tag));
+                        blocked.sort_unstable();
+                        blocked.dedup();
+                        let waiting: Vec<String> = blocked
+                            .iter()
+                            .map(|&(r, s, t)| format!("rank {r} <- recv(src={s}, tag={t:#x})"))
+                            .collect();
+                        panic!(
+                            "cgm: rank {} receive timed out after {:.0?} waiting for \
+                             src={} tag={:#x} (thread backend's wall-clock deadlock \
+                             detector; timeout is recv_timeout scaled by thread \
+                             oversubscription). Ranks blocked at timeout:\n  {}\n\
+                             {} unmatched message(s) in this rank's mailbox: {:?}\n\
+                             If this is a slow or oversubscribed host rather than a \
+                             real deadlock, raise MachineConfig::recv_timeout or use \
+                             the event backend (structural detection, no timeouts).",
+                            self.rank,
+                            timeout,
+                            src,
+                            tag,
+                            waiting.join("\n  "),
+                            mailbox.len(),
+                            mailbox.pending()
+                        )
+                    }
+                }
+            }
+        }
+    }
+
     /// Send already-encoded bytes to `dst` with `tag` (blocking-send cost
     /// semantics: the sender is charged `alpha + beta * len`). Panics if
     /// fault injection makes the send fail permanently — use
@@ -830,7 +903,7 @@ impl Proc {
                 delay: 0.0,
                 poison: false,
             });
-            self.shared.mailboxes[dst].push(Message {
+            self.deliver(dst, Message {
                 src: self.rank,
                 tag,
                 payload,
@@ -874,7 +947,7 @@ impl Proc {
                         delay: 0.0,
                         poison: true,
                     });
-                    self.shared.mailboxes[dst].push(Message {
+                    self.deliver(dst, Message {
                         src: self.rank,
                         tag,
                         payload: Vec::new(),
@@ -920,7 +993,7 @@ impl Proc {
                 delay,
                 poison: false,
             });
-            self.shared.mailboxes[dst].push(Message {
+            self.deliver(dst, Message {
                 src: self.rank,
                 tag,
                 payload,
@@ -948,7 +1021,7 @@ impl Proc {
             delay: 0.0,
             poison: true,
         });
-        self.shared.mailboxes[dst].push(Message {
+        self.deliver(dst, Message {
             src: self.rank,
             tag,
             payload: Vec::new(),
@@ -978,8 +1051,7 @@ impl Proc {
         let src = self.resolve_peer(src);
         assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
         assert_ne!(src, self.rank, "self-recv is not modeled");
-        let msg =
-            self.shared.mailboxes[self.rank].recv(src, tag, self.shared.recv_timeout);
+        let msg = self.blocking_recv(src, tag);
         self.record_ev(Ev::Recv { src: src as u32, tag });
         let waited = (msg.arrive_time - self.clock).max(0.0);
         if msg.arrive_time > self.clock {

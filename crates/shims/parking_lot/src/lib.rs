@@ -108,6 +108,16 @@ impl Condvar {
         WaitTimeoutResult(result.timed_out())
     }
 
+    /// Atomically release the guard's lock and wait (with no timeout)
+    /// until notified, reacquiring the lock before returning. Like the
+    /// real `parking_lot`, spurious wakeups are possible — callers must
+    /// re-check their predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard invariant");
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+    }
+
     /// Wake all threads blocked on this condition variable.
     pub fn notify_all(&self) {
         self.0.notify_all();
